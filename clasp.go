@@ -1,0 +1,381 @@
+// Package clasp is the public API of CLASP, the CLoud-based Applications
+// Speed Platform from "Measuring the network performance of Google Cloud
+// Platform" (Mok et al., ACM IMC 2021).
+//
+// CLASP measures the network performance between cloud regions and the
+// wider Internet by orchestrating measurement VMs that run speed tests
+// against widely deployed test servers (Ookla, M-Lab ndt7, Comcast
+// Xfinity-style). It selects representative servers with two methods — a
+// topology-based method built on bdrmap border inference, and a
+// differential method built on premium/standard tier latency deltas — runs
+// longitudinal hourly campaigns, and detects diurnal congestion from
+// throughput variability.
+//
+// This implementation is offline-complete: every substrate the paper used
+// (the Internet's AS topology, BGP tier routing, GCP's control plane,
+// Speedchecker, tcpdump, bdrmap, InfluxDB, ...) is implemented in this
+// module, and the speed test client/server protocols run over real TCP
+// sockets. See DESIGN.md for the substitution map and EXPERIMENTS.md for
+// paper-vs-measured results.
+//
+// Quickstart:
+//
+//	p, err := clasp.New(clasp.Options{Seed: 1, Scale: 0.1})
+//	if err != nil { ... }
+//	res, err := p.RunTopologyCampaign("us-west1", 30)
+//	rep, err := p.CongestionReport(res)
+package clasp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/congestion"
+	"github.com/clasp-measurement/clasp/internal/core"
+	"github.com/clasp-measurement/clasp/internal/hmm"
+	"github.com/clasp-measurement/clasp/internal/inband"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+)
+
+// Options configures a Platform.
+type Options struct {
+	// Seed drives all topology generation and simulation randomness;
+	// equal seeds give bit-identical campaigns. Defaults to 1.
+	Seed int64
+	// Scale sizes the synthetic Internet relative to the paper's
+	// measurement scale (1.0 ~ 6k interdomain links per region and ~1.3k
+	// US test servers). Defaults to 0.25; use PaperScale for 1.0.
+	Scale float64
+	// PaperScale overrides Scale with the full paper-scale topology.
+	PaperScale bool
+}
+
+// Platform is a fully wired CLASP instance over the simulated Internet and
+// cloud substrate.
+type Platform struct {
+	engine *core.CLASP
+}
+
+// New creates a platform.
+func New(opts Options) (*Platform, error) {
+	scale := opts.Scale
+	if opts.PaperScale {
+		scale = 1.0
+	}
+	if scale == 0 {
+		scale = 0.25
+	}
+	eng, err := core.New(core.Options{Seed: opts.Seed, Scale: scale})
+	if err != nil {
+		return nil, fmt.Errorf("clasp: %w", err)
+	}
+	return &Platform{engine: eng}, nil
+}
+
+// Engine exposes the underlying engine for advanced use (experiment
+// generators, raw topology access). The returned value is owned by the
+// platform.
+func (p *Platform) Engine() *core.CLASP { return p.engine }
+
+// Regions returns the cloud regions available for campaigns.
+func (p *Platform) Regions() []string {
+	var out []string
+	for _, r := range p.engine.Topo.Regions {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// CampaignResult is the outcome of one measurement campaign.
+type CampaignResult = core.CampaignResult
+
+// RunTopologyCampaign selects servers with the topology-based method
+// (§3.1) and measures each hourly over the premium tier for `days` days of
+// virtual time.
+func (p *Platform) RunTopologyCampaign(region string, days int) (*CampaignResult, error) {
+	res, _, err := p.engine.RunTopologyCampaign(region, days)
+	return res, err
+}
+
+// RunDifferentialCampaign selects servers with the differential-based
+// method and measures each hourly over both network tiers. minSamples is
+// the preliminary-scan tuple threshold (the paper used 100; pass a smaller
+// value for reduced-scale platforms).
+func (p *Platform) RunDifferentialCampaign(region string, days, minSamples int) (*CampaignResult, error) {
+	res, _, err := p.engine.RunDifferentialCampaign(region, days, minSamples)
+	return res, err
+}
+
+// PairSummary describes one measured VM-server pair in a congestion report.
+type PairSummary struct {
+	PairID        string
+	ServerID      int
+	Days          int
+	CongestedDays int
+	Events        int
+	// PeakHourLocal is the modal local hour of the pair's events (-1
+	// when the pair saw none).
+	PeakHourLocal int
+}
+
+// CongestionReport summarises congestion across a campaign at H = 0.5.
+type CongestionReport struct {
+	Region string
+	// HourFraction is the fraction of pair-hours with VH > 0.5
+	// (paper: 1.3-3 %).
+	HourFraction float64
+	// DayFraction is the fraction of pair-days with V > 0.5
+	// (paper: 11-30 %).
+	DayFraction float64
+	// Pairs lists the per-pair summaries, most congested first.
+	Pairs []PairSummary
+}
+
+// CongestionReport runs the §3.3 detector over a campaign's download
+// measurements (premium tier).
+func (p *Platform) CongestionReport(res *CampaignResult) (*CongestionReport, error) {
+	if res == nil || len(res.Records) == 0 {
+		return nil, fmt.Errorf("clasp: empty campaign result")
+	}
+	det := congestion.NewDetector()
+	withServer := analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium)
+	if len(withServer) == 0 {
+		return nil, fmt.Errorf("clasp: no premium download series in result")
+	}
+	rep := &CongestionReport{Region: res.Region}
+	var series []congestion.Series
+	for _, sw := range withServer {
+		series = append(series, sw.Series)
+		days := congestion.SplitDays(sw.Series, 0)
+		events := det.Events(sw.Series)
+		congDays := make(map[int]bool)
+		var hourCount [24]int
+		for _, e := range events {
+			congDays[int(e.Time.Unix()/86400)] = true
+			srv := p.engine.Topo.Server(sw.ServerID)
+			if srv != nil {
+				if city, ok := p.engine.Topo.CityOf(srv.City); ok {
+					hourCount[city.LocalHour(e.Time.Hour())]++
+				}
+			}
+		}
+		peak := -1
+		best := 0
+		for h, n := range hourCount {
+			if n > best {
+				best, peak = n, h
+			}
+		}
+		rep.Pairs = append(rep.Pairs, PairSummary{
+			PairID:        sw.Series.PairID,
+			ServerID:      sw.ServerID,
+			Days:          len(days),
+			CongestedDays: len(congDays),
+			Events:        len(events),
+			PeakHourLocal: peak,
+		})
+	}
+	rep.HourFraction = congestion.FractionCongestedHours(series, congestion.DefaultThreshold, 0)
+	rep.DayFraction = congestion.FractionCongestedDays(series, congestion.DefaultThreshold, 0)
+	sortPairs(rep.Pairs)
+	return rep, nil
+}
+
+func sortPairs(pairs []PairSummary) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && (pairs[j].Events > pairs[j-1].Events ||
+			(pairs[j].Events == pairs[j-1].Events && pairs[j].PairID < pairs[j-1].PairID)); j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+// WriteReport renders a congestion report as text.
+func WriteReport(w io.Writer, rep *CongestionReport) {
+	fmt.Fprintf(w, "Congestion report for %s (H = %.1f)\n", rep.Region, congestion.DefaultThreshold)
+	fmt.Fprintf(w, "  congested pair-hours: %.2f%%\n", rep.HourFraction*100)
+	fmt.Fprintf(w, "  congested pair-days:  %.1f%%\n", rep.DayFraction*100)
+	fmt.Fprintf(w, "  %-40s %6s %10s %8s %10s\n", "pair", "days", "cong.days", "events", "peak hour")
+	for _, p := range rep.Pairs {
+		if p.Events == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-40s %6d %10d %8d %10d\n", p.PairID, p.Days, p.CongestedDays, p.Events, p.PeakHourLocal)
+	}
+}
+
+// TierComparison is the §4.1 premium-vs-standard summary of a differential
+// campaign.
+type TierComparison struct {
+	Region string
+	// StdFasterDownload / StdFasterUpload are the fractions of paired
+	// tests where the standard tier's throughput was higher.
+	StdFasterDownload float64
+	StdFasterUpload   float64
+	// Within50 is the fraction of download deltas with |Δ| < 0.5.
+	Within50 float64
+	// MedianDownloadDelta is the median (prem-std)/std download delta.
+	MedianDownloadDelta float64
+	// PairedTests is the number of same-hour tier pairs compared.
+	PairedTests int
+}
+
+// CompareTiers computes the §4.1 comparison from a differential campaign.
+func (p *Platform) CompareTiers(res *CampaignResult) (*TierComparison, error) {
+	if res == nil {
+		return nil, fmt.Errorf("clasp: nil campaign result")
+	}
+	down := analysis.TierDeltas(res.Records, res.Region, analysis.MetricDownload)
+	if len(down) == 0 {
+		return nil, fmt.Errorf("clasp: no paired tier measurements (run a differential campaign)")
+	}
+	up := analysis.TierDeltas(res.Records, res.Region, analysis.MetricUpload)
+	cdf, err := analysis.DeltaCDF(down)
+	if err != nil {
+		return nil, err
+	}
+	median := 0.0
+	for _, pt := range cdf {
+		if pt.P >= 0.5 {
+			median = pt.X
+			break
+		}
+	}
+	return &TierComparison{
+		Region:              res.Region,
+		StdFasterDownload:   analysis.FractionStandardHigher(down),
+		StdFasterUpload:     analysis.FractionStandardHigher(up),
+		Within50:            analysis.FractionWithin(down, 0.5),
+		MedianDownloadDelta: median,
+		PairedTests:         len(down),
+	}, nil
+}
+
+// Costs reports the accrued simulated cloud bill (egress, storage,
+// compute), the constraint that shaped the paper's deployment (§5: over
+// USD 6k per month).
+func (p *Platform) Costs() (egressUSD, storageUSD, computeUSD float64) {
+	c := p.engine.Cloud.Costs()
+	return c.EgressUSD, c.StorageUSD, c.ComputeUSD
+}
+
+// --- §5 extensions through the public API -------------------------------------
+
+// HMMEvents runs the §5 hidden-Markov congestion detector over one pair's
+// download series from a campaign and returns, per sample hour, whether the
+// HMM labels it congested, alongside the detector threshold labels for
+// comparison.
+type HMMEvents struct {
+	PairID string
+	// Hours and the two labelings, index-aligned.
+	Times     []time.Time
+	HMM       []bool
+	Threshold []bool
+	// Agreement is the fraction of hours where the two detectors agree.
+	Agreement float64
+	// DiurnalACF24 is the lag-24h autocorrelation of the series.
+	DiurnalACF24 float64
+}
+
+// DetectHMM applies the HMM detector to the most congested pair of a
+// campaign (or the pair with the given server ID when serverID >= 0).
+func (p *Platform) DetectHMM(res *CampaignResult, serverID int) (*HMMEvents, error) {
+	if res == nil || len(res.Records) == 0 {
+		return nil, fmt.Errorf("clasp: empty campaign result")
+	}
+	det := congestion.NewDetector()
+	series := analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium)
+	if len(series) == 0 {
+		return nil, fmt.Errorf("clasp: no premium download series")
+	}
+	var target *congestion.Series
+	if serverID >= 0 {
+		for i := range series {
+			if series[i].ServerID == serverID {
+				target = &series[i].Series
+				break
+			}
+		}
+		if target == nil {
+			return nil, fmt.Errorf("clasp: server %d not in campaign", serverID)
+		}
+	} else {
+		bestEvents := -1
+		for i := range series {
+			if n := len(det.Events(series[i].Series)); n > bestEvents {
+				bestEvents = n
+				target = &series[i].Series
+			}
+		}
+	}
+	mbps := make([]float64, len(target.Samples))
+	times := make([]time.Time, len(target.Samples))
+	for i, s := range target.Samples {
+		mbps[i] = s.Mbps
+		times[i] = s.Time
+	}
+	labels, _, err := hmm.DetectCongestion(mbps)
+	if err != nil {
+		return nil, fmt.Errorf("clasp: %w", err)
+	}
+	thresholdAt := make(map[int64]bool)
+	for _, e := range det.Events(*target) {
+		thresholdAt[e.Time.Unix()] = true
+	}
+	out := &HMMEvents{PairID: target.PairID, Times: times, HMM: labels}
+	agree := 0
+	for i, at := range times {
+		th := thresholdAt[at.Unix()]
+		out.Threshold = append(out.Threshold, th)
+		if th == labels[i] {
+			agree++
+		}
+	}
+	out.Agreement = float64(agree) / float64(len(times))
+	if acf, err := hmm.DiurnalScore(mbps); err == nil {
+		out.DiurnalACF24 = acf
+	}
+	return out, nil
+}
+
+// InbandEstimate runs the §5 in-band packet-train estimator against one
+// server and compares it with a full speed test.
+type InbandEstimate struct {
+	ServerID       int
+	AvailMbps      float64 // train estimate
+	SpeedtestMbps  float64 // full test for comparison
+	BottleneckName string  // segment the trains located
+	ProbeCostRatio float64 // probe bytes / full-test bytes
+}
+
+// EstimateInband measures a server with packet trains instead of a
+// throughput test.
+func (p *Platform) EstimateInband(region string, serverID int) (*InbandEstimate, error) {
+	srv := p.engine.Topo.Server(serverID)
+	if srv == nil {
+		return nil, fmt.Errorf("clasp: unknown server %d", serverID)
+	}
+	spec := netsim.TestSpec{
+		Region: region, Server: srv, Tier: bgp.Premium,
+		Dir: netsim.Download, Time: core.CampaignStart.Add(8 * time.Hour),
+	}
+	prober := inband.NewProber(p.engine.Sim, p.engine.Opts.Seed)
+	res, err := prober.Estimate(spec, inband.Train{Packets: 128})
+	if err != nil {
+		return nil, fmt.Errorf("clasp: %w", err)
+	}
+	full, err := p.engine.Sim.Measure(spec)
+	if err != nil {
+		return nil, fmt.Errorf("clasp: %w", err)
+	}
+	return &InbandEstimate{
+		ServerID:       serverID,
+		AvailMbps:      res.AvailMbps,
+		SpeedtestMbps:  full.ThroughputMbps,
+		BottleneckName: res.Hops[res.Bottleneck].Name,
+		ProbeCostRatio: res.CostRatio(15),
+	}, nil
+}

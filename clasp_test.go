@@ -1,0 +1,190 @@
+package clasp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := New(Options{Seed: 5, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewDefaults(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Engine() == nil {
+		t.Fatal("engine missing")
+	}
+	regions := p.Regions()
+	if len(regions) != 7 {
+		t.Errorf("regions = %v", regions)
+	}
+}
+
+func TestTopologyCampaignAndCongestionReport(t *testing.T) {
+	p := newPlatform(t)
+	res, err := p.RunTopologyCampaign("us-west1", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.CongestionReport(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Region != "us-west1" {
+		t.Errorf("region = %q", rep.Region)
+	}
+	if rep.HourFraction < 0 || rep.HourFraction > 0.2 {
+		t.Errorf("hour fraction = %v", rep.HourFraction)
+	}
+	if rep.DayFraction <= 0 || rep.DayFraction > 0.7 {
+		t.Errorf("day fraction = %v", rep.DayFraction)
+	}
+	if len(rep.Pairs) == 0 {
+		t.Fatal("no pairs in report")
+	}
+	// Sorted by events descending.
+	for i := 1; i < len(rep.Pairs); i++ {
+		if rep.Pairs[i].Events > rep.Pairs[i-1].Events {
+			t.Error("pairs not sorted by events")
+			break
+		}
+	}
+	for _, pair := range rep.Pairs {
+		if pair.CongestedDays > pair.Days {
+			t.Errorf("pair %s: congested days exceed days", pair.PairID)
+		}
+		if pair.Events == 0 && pair.PeakHourLocal != -1 {
+			t.Errorf("pair %s: peak hour without events", pair.PairID)
+		}
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, rep)
+	if !strings.Contains(buf.String(), "Congestion report for us-west1") {
+		t.Error("report rendering broken")
+	}
+}
+
+func TestDifferentialCampaignAndTierComparison(t *testing.T) {
+	p := newPlatform(t)
+	res, err := p.RunDifferentialCampaign("europe-west1", 7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := p.CompareTiers(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PairedTests == 0 {
+		t.Fatal("no paired tests")
+	}
+	// §4.1: standard tier generally higher throughput.
+	if cmp.StdFasterDownload < 0.5 {
+		t.Errorf("standard faster in %.0f%% of downloads", cmp.StdFasterDownload*100)
+	}
+	if cmp.MedianDownloadDelta > 0 {
+		t.Errorf("median delta %+.2f, want negative (standard higher)", cmp.MedianDownloadDelta)
+	}
+	if cmp.Within50 < 0.5 {
+		t.Errorf("within-50%% fraction = %.2f", cmp.Within50)
+	}
+}
+
+func TestCompareTiersErrors(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.CompareTiers(nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	res, err := p.RunTopologyCampaign("us-east1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A topology campaign has no standard-tier measurements.
+	if _, err := p.CompareTiers(res); err == nil {
+		t.Error("single-tier campaign compared")
+	}
+}
+
+func TestCongestionReportErrors(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.CongestionReport(nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := p.CongestionReport(&CampaignResult{}); err == nil {
+		t.Error("empty result accepted")
+	}
+}
+
+func TestCostsAccrue(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.RunTopologyCampaign("us-central1", 2); err != nil {
+		t.Fatal(err)
+	}
+	egress, _, compute := p.Costs()
+	if egress <= 0 || compute <= 0 {
+		t.Errorf("costs = %v/%v", egress, compute)
+	}
+}
+
+func TestDetectHMMAgainstThreshold(t *testing.T) {
+	p := newPlatform(t)
+	res, err := p.RunTopologyCampaign("us-east4", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p.DetectHMM(res, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Times) != len(ev.HMM) || len(ev.HMM) != len(ev.Threshold) {
+		t.Fatal("label slices misaligned")
+	}
+	// The two detectors must broadly agree on the most congested pair.
+	if ev.Agreement < 0.85 {
+		t.Errorf("HMM/threshold agreement = %.2f", ev.Agreement)
+	}
+	if ev.PairID == "" {
+		t.Error("pair ID missing")
+	}
+	// Specific-server variant and error paths.
+	if _, err := p.DetectHMM(res, 1<<30); err == nil {
+		t.Error("unknown server accepted")
+	}
+	if _, err := p.DetectHMM(nil, -1); err == nil {
+		t.Error("nil result accepted")
+	}
+}
+
+func TestEstimateInband(t *testing.T) {
+	p := newPlatform(t)
+	srv := p.Engine().Topo.Servers()[0]
+	est, err := p.EstimateInband("us-east1", srv.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.AvailMbps <= 0 || est.SpeedtestMbps <= 0 {
+		t.Errorf("estimates: %+v", est)
+	}
+	// The train estimate should land near the full test.
+	ratio := est.AvailMbps / est.SpeedtestMbps
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Errorf("inband/speedtest ratio = %.2f", ratio)
+	}
+	if est.ProbeCostRatio > 0.01 {
+		t.Errorf("probe cost ratio = %.4f, want < 1%%", est.ProbeCostRatio)
+	}
+	if est.BottleneckName == "" {
+		t.Error("bottleneck unnamed")
+	}
+	if _, err := p.EstimateInband("us-east1", 1<<30); err == nil {
+		t.Error("unknown server accepted")
+	}
+}

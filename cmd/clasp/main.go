@@ -1,0 +1,338 @@
+// Command clasp runs CLASP campaigns and regenerates the paper's tables
+// and figures against the built-in simulated Internet.
+//
+// Usage:
+//
+//	clasp report <artifact> [flags]   regenerate a paper artifact:
+//	                                  table1, fig2, fig3, fig4a, fig4b, fig4c,
+//	                                  fig5, fig6a, fig6b, fig6c, fig7, fig8,
+//	                                  headlines, all
+//	clasp select <region> [flags]     run both selection methods for a region
+//	clasp campaign <region> [flags]   run a topology campaign and print the
+//	                                  congestion report
+//	clasp costs [flags]               show the simulated cloud bill after a
+//	                                  one-week all-region campaign
+//
+// Flags:
+//
+//	-seed N      simulation seed (default 1)
+//	-scale F     topology scale, 1.0 = paper scale (default 0.25)
+//	-days N      campaign length in virtual days (default 30)
+//	-samples N   differential-scan minimum tuple samples (default scales
+//	             with the topology)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/core"
+	"github.com/clasp-measurement/clasp/internal/selection"
+
+	clasp "github.com/clasp-measurement/clasp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "clasp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: clasp <report|select|campaign|costs> ... (see -h)")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 0.25, "topology scale (1.0 = paper scale)")
+	days := fs.Int("days", 30, "campaign length in virtual days")
+	samples := fs.Int("samples", 0, "differential-scan minimum tuple samples")
+
+	// Subcommand positional arguments come before flags.
+	var positional []string
+	for len(rest) > 0 && !strings.HasPrefix(rest[0], "-") {
+		positional = append(positional, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	minSamples := *samples
+	if minSamples == 0 {
+		// Scale the paper's >=100 rule with the VP population.
+		minSamples = int(100 * *scale)
+		if minSamples < 6 {
+			minSamples = 6
+		}
+	}
+
+	p, err := clasp.New(clasp.Options{Seed: *seed, Scale: *scale})
+	if err != nil {
+		return err
+	}
+	eng := p.Engine()
+	out := os.Stdout
+
+	switch cmd {
+	case "select":
+		if len(positional) != 1 {
+			return fmt.Errorf("usage: clasp select <region>")
+		}
+		region := positional[0]
+		sel, err := eng.SelectTopologyServers(region)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Topology-based selection (%s): pilot links %d, server links %d, selected %d (coverage %.1f%%)\n",
+			region, sel.PilotLinks.LinkCount(), sel.ServerLinkCount, len(sel.Selected), sel.Coverage()*100)
+		for _, s := range sel.Selected {
+			fmt.Fprintf(out, "  %-38s %-18s AS%-10d hops=%d rtt=%.1fms far=%s\n",
+				s.Server.Host, s.Server.City, s.Server.ASN, s.ASHops, s.RTTms, s.FarIP)
+		}
+		diff, _, err := eng.SelectDifferentialServers(region, minSamples)
+		if err != nil {
+			return err
+		}
+		core.WriteDifferentialSelection(out, region, diff)
+		return nil
+
+	case "campaign":
+		if len(positional) != 1 {
+			return fmt.Errorf("usage: clasp campaign <region>")
+		}
+		res, err := p.RunTopologyCampaign(positional[0], *days)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Campaign: %d tests over %d hours with %d VMs\n",
+			res.Report.Tests, res.Report.Hours, res.Report.VMs)
+		rep, err := p.CongestionReport(res)
+		if err != nil {
+			return err
+		}
+		clasp.WriteReport(out, rep)
+		return nil
+
+	case "costs":
+		for _, region := range core.TopologyRegions {
+			if _, err := p.RunTopologyCampaign(region, 7); err != nil {
+				return err
+			}
+		}
+		egress, storage, compute := p.Costs()
+		fmt.Fprintf(out, "Simulated 7-day all-region bill:\n")
+		fmt.Fprintf(out, "  egress:  $%8.2f\n  storage: $%8.2f\n  compute: $%8.2f\n  total:   $%8.2f\n",
+			egress, storage, compute, egress+storage+compute)
+		fmt.Fprintf(out, "(the paper's real deployment exceeded USD 6k/month)\n")
+		return nil
+
+	case "report":
+		if len(positional) != 1 {
+			return fmt.Errorf("usage: clasp report <table1|fig2|...|all>")
+		}
+		return report(out, p, newCampaignCache(), positional[0], *days, minSamples)
+
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// campaignCache shares campaign results across the artifacts of one
+// `report all` invocation so each region is measured exactly once.
+type campaignCache struct {
+	topo    map[string]*core.CampaignResult
+	topoSel map[string]*selection.TopoResult
+	diff    map[string]*core.CampaignResult
+	diffSel map[string][]selection.DiffSelected
+}
+
+func newCampaignCache() *campaignCache {
+	return &campaignCache{
+		topo:    make(map[string]*core.CampaignResult),
+		topoSel: make(map[string]*selection.TopoResult),
+		diff:    make(map[string]*core.CampaignResult),
+		diffSel: make(map[string][]selection.DiffSelected),
+	}
+}
+
+func (c *campaignCache) topology(eng *core.CLASP, region string, days int) (*core.CampaignResult, *selection.TopoResult, error) {
+	if res, ok := c.topo[region]; ok {
+		return res, c.topoSel[region], nil
+	}
+	res, sel, err := eng.RunTopologyCampaign(region, days)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.topo[region] = res
+	c.topoSel[region] = sel
+	return res, sel, nil
+}
+
+func (c *campaignCache) differential(eng *core.CLASP, region string, days, minSamples int) (*core.CampaignResult, []selection.DiffSelected, error) {
+	if res, ok := c.diff[region]; ok {
+		return res, c.diffSel[region], nil
+	}
+	res, sel, err := eng.RunDifferentialCampaign(region, days, minSamples)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.diff[region] = res
+	c.diffSel[region] = sel
+	return res, sel, nil
+}
+
+// report regenerates one (or all) paper artifacts.
+func report(out *os.File, p *clasp.Platform, cache *campaignCache, artifact string, days, minSamples int) error {
+	eng := p.Engine()
+
+	topoCampaigns := func(regions []string) (map[string]*core.CampaignResult, error) {
+		results := make(map[string]*core.CampaignResult)
+		for _, r := range regions {
+			res, _, err := cache.topology(eng, r, days)
+			if err != nil {
+				return nil, err
+			}
+			results[r] = res
+		}
+		return results, nil
+	}
+
+	switch artifact {
+	case "table1":
+		rows, err := eng.Table1(core.Table1Regions)
+		if err != nil {
+			return err
+		}
+		core.WriteTable1(out, rows)
+
+	case "fig2":
+		results, err := topoCampaigns(core.TopologyRegions)
+		if err != nil {
+			return err
+		}
+		core.WriteFig2(out, core.Fig2(results, nil))
+
+	case "fig3":
+		res, _, err := cache.topology(eng, "us-west1", days)
+		if err != nil {
+			return err
+		}
+		d, err := eng.Fig3(res)
+		if err != nil {
+			return err
+		}
+		core.WriteFig3(out, d)
+
+	case "fig4a":
+		results, err := topoCampaigns(core.Table1Regions)
+		if err != nil {
+			return err
+		}
+		for _, r := range core.Table1Regions {
+			d, err := core.Fig4(results[r], bgp.Premium)
+			if err != nil {
+				return err
+			}
+			core.WriteFig4(out, d)
+		}
+
+	case "fig4b", "fig4c":
+		tier := bgp.Premium
+		if artifact == "fig4c" {
+			tier = bgp.Standard
+		}
+		for _, r := range core.DifferentialRegions {
+			res, _, err := cache.differential(eng, r, days, minSamples)
+			if err != nil {
+				return err
+			}
+			d, err := core.Fig4(res, tier)
+			if err != nil {
+				return err
+			}
+			core.WriteFig4(out, d)
+		}
+
+	case "fig5":
+		res, sel, err := cache.differential(eng, "europe-west1", days, minSamples)
+		if err != nil {
+			return err
+		}
+		s, err := core.Fig5(res, sel)
+		if err != nil {
+			return err
+		}
+		core.WriteFig5(out, s)
+
+	case "fig6a", "fig6b":
+		region := "us-east1"
+		if artifact == "fig6b" {
+			region = "us-west1"
+		}
+		res, _, err := cache.topology(eng, region, days)
+		if err != nil {
+			return err
+		}
+		core.WriteFig6(out, region, eng.Fig6(res, bgp.Premium, 10))
+
+	case "fig6c":
+		res, _, err := cache.differential(eng, "europe-west1", days, minSamples)
+		if err != nil {
+			return err
+		}
+		core.WriteFig6(out, "europe-west1 premium", eng.Fig6(res, bgp.Premium, 6))
+		core.WriteFig6(out, "europe-west1 standard", eng.Fig6(res, bgp.Standard, 6))
+
+	case "fig7":
+		for _, region := range core.Table1Regions {
+			_, sel, err := cache.topology(eng, region, days)
+			if err != nil {
+				return err
+			}
+			core.WriteFig7(out, eng.Fig7(region, sel, nil))
+		}
+		diff, _, err := eng.SelectDifferentialServers("europe-west1", minSamples)
+		if err != nil {
+			return err
+		}
+		core.WriteFig7(out, eng.Fig7("europe-west1", nil, diff))
+
+	case "fig8":
+		results, err := topoCampaigns(core.Table1Regions)
+		if err != nil {
+			return err
+		}
+		for _, r := range core.Table1Regions {
+			core.WriteFig8(out, r, eng.Fig8(results[r], bgp.Premium))
+		}
+
+	case "headlines":
+		results, err := topoCampaigns(core.TopologyRegions)
+		if err != nil {
+			return err
+		}
+		diff, _, err := cache.differential(eng, "europe-west1", days, minSamples)
+		if err != nil {
+			return err
+		}
+		core.WriteHeadlines(out, eng.ComputeHeadlines(results, diff))
+
+	case "all":
+		for _, a := range []string{"table1", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "headlines"} {
+			core.Separator(out, a)
+			if err := report(out, p, cache, a, days, minSamples); err != nil {
+				return fmt.Errorf("%s: %w", a, err)
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown artifact %q", artifact)
+	}
+	return nil
+}

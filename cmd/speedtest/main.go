@@ -1,0 +1,89 @@
+// Command speedtest runs a real speed test against a server speaking one of
+// the three supported protocols, optionally shaping the connection with the
+// token-bucket limiter that stands in for the paper's tc setup.
+//
+// Usage:
+//
+//	speedtest -platform ookla   -server 127.0.0.1:8080
+//	speedtest -platform mlab    -server 127.0.0.1:8081
+//	speedtest -platform comcast -server 127.0.0.1:8081
+//
+// Flags:
+//
+//	-duration D    per-direction duration (default 5s)
+//	-down-cap M    shape the receive direction at M Mbps (0 = unshaped)
+//	-up-cap M      shape the send direction at M Mbps (0 = unshaped)
+//	-json          print the result as JSON
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/shaper"
+	"github.com/clasp-measurement/clasp/internal/speedtest"
+	"github.com/clasp-measurement/clasp/internal/speedtest/ndt7"
+	"github.com/clasp-measurement/clasp/internal/speedtest/ookla"
+	"github.com/clasp-measurement/clasp/internal/speedtest/xfinity"
+)
+
+func main() {
+	platform := flag.String("platform", "ookla", "protocol: ookla, mlab, comcast")
+	server := flag.String("server", "127.0.0.1:8080", "server host:port")
+	duration := flag.Duration("duration", 5*time.Second, "per-direction duration")
+	downCap := flag.Float64("down-cap", 0, "receive shaping in Mbps (tc substitute)")
+	upCap := flag.Float64("up-cap", 0, "send shaping in Mbps (tc substitute)")
+	asJSON := flag.Bool("json", false, "JSON output")
+	flag.Parse()
+
+	dial := func(ctx context.Context, addr string) (net.Conn, error) {
+		d := net.Dialer{Timeout: 10 * time.Second}
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		if *downCap > 0 || *upCap > 0 {
+			conn = shaper.NewConn(conn, shaper.Options{ReadMbps: *downCap, WriteMbps: *upCap})
+		}
+		return conn, nil
+	}
+
+	var client speedtest.Client
+	switch *platform {
+	case "ookla":
+		c := ookla.NewClient(ookla.Config{DownloadDuration: *duration, UploadDuration: *duration})
+		c.Dial = dial
+		client = c
+	case "mlab":
+		client = ndt7.NewClient(ndt7.Config{Duration: *duration, Dial: dial})
+	case "comcast":
+		client = xfinity.NewClient(xfinity.Config{Duration: *duration})
+	default:
+		log.Fatalf("speedtest: unknown platform %q", *platform)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 4**duration+30*time.Second)
+	defer cancel()
+	res, err := client.Run(ctx, *server)
+	if err != nil {
+		log.Fatalf("speedtest: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("platform: %s  server: %s\n", res.Platform, res.Server)
+	fmt.Printf("latency:  %8.2f ms\n", res.LatencyMs)
+	fmt.Printf("download: %8.2f Mbps (%d bytes)\n", res.DownloadMbps, res.BytesDown)
+	fmt.Printf("upload:   %8.2f Mbps (%d bytes)\n", res.UploadMbps, res.BytesUp)
+}

@@ -1,0 +1,67 @@
+// Command speedtestd serves all three speed test protocols on localhost:
+// the Ookla TCP line protocol, M-Lab's ndt7 over WebSocket, and a Comcast
+// Xfinity-style HTTP test, plus a server directory endpoint — a miniature
+// of the infrastructure CLASP measures against.
+//
+// Usage:
+//
+//	speedtestd [-ookla :8080] [-http :8081] [-duration 10s]
+//
+// The HTTP listener serves ndt7 (/ndt/v7/download, /ndt/v7/upload), the
+// Xfinity endpoints (/speedtest/*), and /servers.json.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/speedtest"
+	"github.com/clasp-measurement/clasp/internal/speedtest/ndt7"
+	"github.com/clasp-measurement/clasp/internal/speedtest/ookla"
+	"github.com/clasp-measurement/clasp/internal/speedtest/xfinity"
+)
+
+func main() {
+	ooklaAddr := flag.String("ookla", "127.0.0.1:8080", "Ookla protocol listen address")
+	httpAddr := flag.String("http", "127.0.0.1:8081", "HTTP listen address (ndt7 + xfinity + directory)")
+	duration := flag.Duration("duration", 10*time.Second, "ndt7 test duration")
+	flag.Parse()
+
+	srv, err := ookla.Listen(*ooklaAddr)
+	if err != nil {
+		log.Fatalf("speedtestd: %v", err)
+	}
+	defer srv.Close()
+	log.Printf("ookla protocol on %s", srv.Addr())
+
+	ln, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("speedtestd: %v", err)
+	}
+	log.Printf("ndt7 + xfinity + directory on http://%s", ln.Addr())
+
+	directory := speedtest.NewDirectory([]speedtest.ServerInfo{
+		{ID: 1, Platform: "ookla", Host: srv.Addr().String(), City: "localhost", Country: "US", Sponsor: "clasp"},
+		{ID: 2, Platform: "mlab", Host: ln.Addr().String(), City: "localhost", Country: "US", Sponsor: "clasp"},
+		{ID: 3, Platform: "comcast", Host: ln.Addr().String(), City: "localhost", Country: "US", Sponsor: "clasp"},
+	})
+
+	mux := http.NewServeMux()
+	ndt := &ndt7.Handler{Duration: *duration}
+	mux.Handle(ndt7.DownloadPath, ndt)
+	mux.Handle(ndt7.UploadPath, ndt)
+	xf := &xfinity.Handler{}
+	mux.Handle(xfinity.LatencyPath, xf)
+	mux.Handle(xfinity.DownloadPath, xf)
+	mux.Handle(xfinity.UploadPath, xf)
+	mux.Handle("/servers.json", directory)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "clasp speedtestd: /servers.json, /ndt/v7/{download,upload}, /speedtest/{latency,download,upload}")
+	})
+
+	log.Fatal(http.Serve(ln, mux))
+}

@@ -1,0 +1,3 @@
+module github.com/clasp-measurement/clasp
+
+go 1.22

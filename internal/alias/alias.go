@@ -1,0 +1,174 @@
+// Package alias resolves router interface aliases with the shared-IP-ID
+// counter technique (MIDAR-style): interfaces of one router stamp outgoing
+// packets from a single monotonically increasing IP-ID counter, so probes
+// to two aliases interleave into one monotonic sequence, while probes to
+// different routers do not.
+//
+// The probe side is simulated against the topology's ground-truth routers;
+// the resolution algorithm itself (monotonic-interleaving test + transitive
+// grouping) is the real inference CLASP's bdrmap stage depends on.
+package alias
+
+import (
+	"net/netip"
+	"sort"
+
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// Prober answers IP-ID probes for router interface addresses.
+type Prober struct {
+	topo *topology.Topology
+	seed int64
+}
+
+// NewProber creates an alias prober over the topology's routers.
+func NewProber(t *topology.Topology, seed int64) *Prober {
+	return &Prober{topo: t, seed: seed}
+}
+
+// Probe sends one IP-ID probe to addr at virtual time tick and returns the
+// IP-ID. ok is false when the address is not a responsive router interface.
+func (p *Prober) Probe(addr netip.Addr, tick int) (uint16, bool) {
+	r := p.topo.RouterOf(addr)
+	if r < 0 {
+		return 0, false
+	}
+	// Router counter: per-router base and velocity, advancing with time.
+	base := hashU64(p.seed, uint64(r), 0x1) % 40000
+	velocity := 3 + hashU64(p.seed, uint64(r), 0x2)%40
+	// Small per-probe increment noise from other traffic.
+	jitter := hashU64(p.seed, uint64(r), uint64(tick), 0x3) % 3
+	return uint16(base + velocity*uint64(tick) + jitter), true
+}
+
+// sample is one observation in a probe series.
+type sample struct {
+	tick int
+	id   uint16
+}
+
+// Resolve groups candidate interface addresses into alias sets. It probes
+// each candidate in an interleaved schedule and merges pairs whose combined
+// IP-ID series stays monotonic (modulo wraparound).
+func (p *Prober) Resolve(candidates []netip.Addr) [][]netip.Addr {
+	// Deduplicate and keep responsive candidates only.
+	seen := make(map[netip.Addr]bool)
+	var addrs []netip.Addr
+	for _, a := range candidates {
+		if !seen[a] {
+			seen[a] = true
+			if _, ok := p.Probe(a, 0); ok {
+				addrs = append(addrs, a)
+			}
+		}
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Compare(addrs[j]) < 0 })
+
+	// Interleaved probing: for each address, collect a short series at
+	// staggered ticks.
+	const rounds = 5
+	series := make(map[netip.Addr][]sample, len(addrs))
+	for round := 0; round < rounds; round++ {
+		for i, a := range addrs {
+			tick := round*len(addrs)*2 + i*2
+			if id, ok := p.Probe(a, tick); ok {
+				series[a] = append(series[a], sample{tick: tick, id: id})
+			}
+		}
+	}
+
+	// Union-find over candidates.
+	parent := make(map[netip.Addr]netip.Addr, len(addrs))
+	var find func(a netip.Addr) netip.Addr
+	find = func(a netip.Addr) netip.Addr {
+		if parent[a] != a {
+			parent[a] = find(parent[a])
+		}
+		return parent[a]
+	}
+	for _, a := range addrs {
+		parent[a] = a
+	}
+	union := func(a, b netip.Addr) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Pairwise shared-counter test. O(n^2) pairs, as in MIDAR's
+	// estimation stage; candidate sets here are per-neighbor and small.
+	for i := 0; i < len(addrs); i++ {
+		for j := i + 1; j < len(addrs); j++ {
+			if sharedCounter(append(append([]sample(nil), series[addrs[i]]...), series[addrs[j]]...)) {
+				union(addrs[i], addrs[j])
+			}
+		}
+	}
+
+	groups := make(map[netip.Addr][]netip.Addr)
+	for _, a := range addrs {
+		r := find(a)
+		groups[r] = append(groups[r], a)
+	}
+	out := make([][]netip.Addr, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].Compare(g[j]) < 0 })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Compare(out[j][0]) < 0 })
+	return out
+}
+
+// sharedCounter reports whether the combined sample series is consistent
+// with a single linearly advancing IP-ID counter: after estimating the
+// counter velocity from the first and last observations, every sample must
+// sit within a small tolerance of the fitted line (allowing 16-bit
+// wraparound). Interfaces of one router pass; two routers with independent
+// bases and velocities essentially never do.
+func sharedCounter(samples []sample) bool {
+	if len(samples) < 4 {
+		return false
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].tick < samples[j].tick })
+	first, last := samples[0], samples[len(samples)-1]
+	dt := last.tick - first.tick
+	if dt <= 0 {
+		return false
+	}
+	span := int(uint16(last.id - first.id)) // wraparound-safe forward delta
+	velocity := float64(span) / float64(dt)
+	const maxVelocity = 200 // routers increment far slower per tick
+	if velocity > maxVelocity {
+		return false
+	}
+	const tolerance = 24 // counter jitter from cross traffic
+	for _, s := range samples {
+		predicted := velocity * float64(s.tick-first.tick)
+		observed := float64(int(uint16(s.id - first.id)))
+		diff := observed - predicted
+		if diff < -tolerance || diff > tolerance {
+			return false
+		}
+	}
+	return true
+}
+
+func hashU64(seed int64, keys ...uint64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(uint64(seed))
+	for _, k := range keys {
+		mix(k)
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 31
+	return h
+}

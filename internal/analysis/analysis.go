@@ -1,0 +1,437 @@
+// Package analysis turns CLASP's raw measurement records into the paper's
+// result artifacts: monthly p95-throughput/p5-latency performance points
+// (Fig. 4), relative tier differences and their CDFs (Fig. 5), premium-tier
+// loss attribution (§4.1), and business-type breakdowns of congested
+// servers (Fig. 8).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/congestion"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/stats"
+	"github.com/clasp-measurement/clasp/internal/topology"
+	"github.com/clasp-measurement/clasp/internal/tsdb"
+)
+
+// Measurement is one completed speed test record, the unit stored in the
+// results bucket and indexed into the time-series store.
+type Measurement struct {
+	ServerID int
+	Region   string
+	Tier     bgp.Tier
+	Dir      netsim.Direction
+	Time     time.Time
+	Mbps     float64
+	RTTms    float64
+	Loss     float64
+}
+
+// PairKey identifies a VM-server measurement pair.
+type PairKey struct {
+	ServerID int
+	Region   string
+	Tier     bgp.Tier
+	Dir      netsim.Direction
+}
+
+// Key returns the measurement's pair key.
+func (m Measurement) Key() PairKey {
+	return PairKey{ServerID: m.ServerID, Region: m.Region, Tier: m.Tier, Dir: m.Dir}
+}
+
+// GroupSeries converts measurements into congestion-analysis series, one
+// per pair, filtered by direction and tier.
+func GroupSeries(ms []Measurement, dir netsim.Direction, tier bgp.Tier) []congestion.Series {
+	byPair := make(map[PairKey][]congestion.Sample)
+	for _, m := range ms {
+		if m.Dir != dir || m.Tier != tier {
+			continue
+		}
+		k := m.Key()
+		byPair[k] = append(byPair[k], congestion.Sample{Time: m.Time, Mbps: m.Mbps})
+	}
+	keys := make([]PairKey, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Region != keys[j].Region {
+			return keys[i].Region < keys[j].Region
+		}
+		return keys[i].ServerID < keys[j].ServerID
+	})
+	out := make([]congestion.Series, 0, len(keys))
+	for _, k := range keys {
+		samples := byPair[k]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
+		out = append(out, congestion.Series{
+			PairID:  fmt.Sprintf("%s/%d/%s/%s", k.Region, k.ServerID, k.Tier, k.Dir),
+			Samples: samples,
+		})
+	}
+	return out
+}
+
+// SeriesWithServer pairs a congestion series with the server it measures.
+type SeriesWithServer struct {
+	ServerID int
+	Region   string
+	Series   congestion.Series
+}
+
+// GroupSeriesWithServer is GroupSeries keeping the server attribution that
+// the congestion-by-business-type and Fig. 6 analyses need.
+func GroupSeriesWithServer(ms []Measurement, dir netsim.Direction, tier bgp.Tier) []SeriesWithServer {
+	byPair := make(map[PairKey][]congestion.Sample)
+	for _, m := range ms {
+		if m.Dir != dir || m.Tier != tier {
+			continue
+		}
+		byPair[m.Key()] = append(byPair[m.Key()], congestion.Sample{Time: m.Time, Mbps: m.Mbps})
+	}
+	keys := make([]PairKey, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Region != keys[j].Region {
+			return keys[i].Region < keys[j].Region
+		}
+		return keys[i].ServerID < keys[j].ServerID
+	})
+	out := make([]SeriesWithServer, 0, len(keys))
+	for _, k := range keys {
+		samples := byPair[k]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
+		out = append(out, SeriesWithServer{
+			ServerID: k.ServerID,
+			Region:   k.Region,
+			Series: congestion.Series{
+				PairID:  fmt.Sprintf("%s/%d/%s/%s", k.Region, k.ServerID, k.Tier, k.Dir),
+				Samples: samples,
+			},
+		})
+	}
+	return out
+}
+
+// SeriesFromStore reconstructs congestion-analysis series from the
+// time-series store (the paper's pipeline: raw results land in InfluxDB,
+// the analysis reads hourly series back out). Filters mirror GroupSeries.
+func SeriesFromStore(store *tsdb.Store, dir netsim.Direction, tier bgp.Tier) []congestion.Series {
+	match := tsdb.Tags{"dir": dir.String(), "tier": tier.String()}
+	var out []congestion.Series
+	for _, sr := range store.Query("speedtest", match, time.Time{}, time.Time{}) {
+		cs := congestion.Series{
+			PairID: fmt.Sprintf("%s/%s/%s/%s", sr.Tags["region"], sr.Tags["server"], sr.Tags["tier"], sr.Tags["dir"]),
+		}
+		for _, p := range sr.Points {
+			if v, ok := p.Fields["mbps"]; ok {
+				cs.Samples = append(cs.Samples, congestion.Sample{Time: p.Time, Mbps: v})
+			}
+		}
+		if len(cs.Samples) > 0 {
+			out = append(out, cs)
+		}
+	}
+	return out
+}
+
+// --- Fig. 4: monthly performance points ---------------------------------------
+
+// PerfPoint is one scatter point of Fig. 4: a server's 95th-percentile
+// download throughput and 5th-percentile latency within one month.
+type PerfPoint struct {
+	ServerID int
+	Region   string
+	Month    time.Month
+	Year     int
+	P95Down  float64
+	P5LatMs  float64
+	N        int
+}
+
+// PerfPoints computes one point per (server, region, month) from download
+// measurements, mirroring Fig. 4's use of p95/p5 to mitigate outliers.
+func PerfPoints(ms []Measurement) []PerfPoint {
+	type key struct {
+		server int
+		region string
+		year   int
+		month  time.Month
+	}
+	down := make(map[key][]float64)
+	lat := make(map[key][]float64)
+	for _, m := range ms {
+		if m.Dir != netsim.Download {
+			continue
+		}
+		k := key{m.ServerID, m.Region, m.Time.Year(), m.Time.Month()}
+		down[k] = append(down[k], m.Mbps)
+		lat[k] = append(lat[k], m.RTTms)
+	}
+	keys := make([]key, 0, len(down))
+	for k := range down {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.region != b.region {
+			return a.region < b.region
+		}
+		if a.server != b.server {
+			return a.server < b.server
+		}
+		if a.year != b.year {
+			return a.year < b.year
+		}
+		return a.month < b.month
+	})
+	out := make([]PerfPoint, 0, len(keys))
+	for _, k := range keys {
+		d := down[k]
+		l := lat[k]
+		p95, err1 := stats.Percentile(d, 95)
+		p5, err2 := stats.Percentile(l, 5)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, PerfPoint{
+			ServerID: k.server, Region: k.region, Month: k.month, Year: k.year,
+			P95Down: p95, P5LatMs: p5, N: len(d),
+		})
+	}
+	return out
+}
+
+// MarginalKDE returns the kernel density of one PerfPoint dimension, for
+// the marginal curves on Fig. 4's axes.
+func MarginalKDE(points []PerfPoint, latency bool) ([]stats.KDEPoint, error) {
+	xs := make([]float64, 0, len(points))
+	for _, p := range points {
+		if latency {
+			xs = append(xs, p.P5LatMs)
+		} else {
+			xs = append(xs, p.P95Down)
+		}
+	}
+	return stats.KDE(xs, 128, 0)
+}
+
+// --- Fig. 5: relative tier differences ------------------------------------------
+
+// Metric selects which measurement dimension a tier delta compares.
+type Metric int
+
+// Comparable metrics (the paper's d/u/l subscripts).
+const (
+	MetricDownload Metric = iota
+	MetricUpload
+	MetricLatency
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case MetricDownload:
+		return "download"
+	case MetricUpload:
+		return "upload"
+	default:
+		return "latency"
+	}
+}
+
+// TierDelta is one same-hour premium/standard comparison:
+// Δ = (T_prem - T_std) / T_std (§4.1).
+type TierDelta struct {
+	ServerID int
+	Time     time.Time
+	Metric   Metric
+	Delta    float64
+}
+
+// TierDeltas pairs measurements of the two tiers taken for the same
+// (server, region, direction) in the same hour and computes the relative
+// difference for the requested metric.
+func TierDeltas(ms []Measurement, region string, metric Metric) []TierDelta {
+	type key struct {
+		server int
+		hour   int64
+	}
+	wantDir := netsim.Download
+	if metric == MetricUpload {
+		wantDir = netsim.Upload
+	}
+	prem := make(map[key]Measurement)
+	std := make(map[key]Measurement)
+	for _, m := range ms {
+		if m.Region != region {
+			continue
+		}
+		// Latency deltas ride on download tests (each test reports RTT).
+		if m.Dir != wantDir {
+			continue
+		}
+		k := key{m.ServerID, m.Time.Unix() / 3600}
+		if m.Tier == bgp.Premium {
+			prem[k] = m
+		} else {
+			std[k] = m
+		}
+	}
+	var out []TierDelta
+	for k, p := range prem {
+		s, ok := std[k]
+		if !ok {
+			continue
+		}
+		var pv, sv float64
+		if metric == MetricLatency {
+			pv, sv = p.RTTms, s.RTTms
+		} else {
+			pv, sv = p.Mbps, s.Mbps
+		}
+		if sv == 0 {
+			continue
+		}
+		out = append(out, TierDelta{
+			ServerID: k.server,
+			Time:     time.Unix(k.hour*3600, 0).UTC(),
+			Metric:   metric,
+			Delta:    (pv - sv) / sv,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return out[i].ServerID < out[j].ServerID
+	})
+	return out
+}
+
+// DeltaCDF builds the empirical CDF of the deltas (one Fig. 5 curve).
+func DeltaCDF(deltas []TierDelta) ([]stats.CDFPoint, error) {
+	xs := make([]float64, len(deltas))
+	for i, d := range deltas {
+		xs[i] = d.Delta
+	}
+	return stats.CDF(xs)
+}
+
+// FractionStandardHigher returns the fraction of throughput deltas where
+// the standard tier outperformed premium (Δ < 0).
+func FractionStandardHigher(deltas []TierDelta) float64 {
+	if len(deltas) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range deltas {
+		if d.Delta < 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(deltas))
+}
+
+// FractionWithin returns the fraction of deltas with |Δ| < bound (the
+// paper: <50 % in over 92 % of measurements).
+func FractionWithin(deltas []TierDelta, bound float64) float64 {
+	if len(deltas) == 0 {
+		return 0
+	}
+	n := 0
+	for _, d := range deltas {
+		if d.Delta < bound && d.Delta > -bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(deltas))
+}
+
+// --- §4.1: premium-tier loss attribution ----------------------------------------
+
+// LossySummary reports a server whose premium-tier download tests carried
+// persistent loss.
+type LossySummary struct {
+	ServerID int
+	MeanLoss float64
+	N        int
+}
+
+// PremiumLossTargets returns servers whose average premium-tier download
+// loss exceeds the threshold (the paper found eight above 10 %).
+func PremiumLossTargets(ms []Measurement, region string, threshold float64) []LossySummary {
+	sum := make(map[int]float64)
+	n := make(map[int]int)
+	for _, m := range ms {
+		if m.Region != region || m.Tier != bgp.Premium || m.Dir != netsim.Download {
+			continue
+		}
+		sum[m.ServerID] += m.Loss
+		n[m.ServerID]++
+	}
+	var out []LossySummary
+	for id, s := range sum {
+		mean := s / float64(n[id])
+		if mean > threshold {
+			out = append(out, LossySummary{ServerID: id, MeanLoss: mean, N: n[id]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MeanLoss > out[j].MeanLoss })
+	return out
+}
+
+// --- Fig. 8: business-type breakdown ---------------------------------------------
+
+// BusinessOf resolves a server's ipinfo-style business category via its AS.
+func BusinessOf(topo *topology.Topology, serverID int) topology.BusinessType {
+	s := topo.Server(serverID)
+	if s == nil {
+		return topology.BizUnknown
+	}
+	a := topo.AS(s.ASN)
+	if a == nil {
+		return topology.BizUnknown
+	}
+	return a.Business
+}
+
+// Fig8Row counts congested and total servers of one business type.
+type Fig8Row struct {
+	Region    string
+	Type      topology.BusinessType
+	Congested int
+	Total     int
+}
+
+// Fig8Counts groups servers by business type per region, splitting
+// congested from non-congested (congested = pair flagged by the >10 %-of-
+// days rule).
+func Fig8Counts(topo *topology.Topology, region string, serverIDs []int, congested map[int]bool) []Fig8Row {
+	counts := make(map[topology.BusinessType]*Fig8Row)
+	for _, id := range serverIDs {
+		b := BusinessOf(topo, id)
+		row := counts[b]
+		if row == nil {
+			row = &Fig8Row{Region: region, Type: b}
+			counts[b] = row
+		}
+		row.Total++
+		if congested[id] {
+			row.Congested++
+		}
+	}
+	var out []Fig8Row
+	for _, row := range counts {
+		out = append(out, *row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Type < out[j].Type })
+	return out
+}

@@ -1,0 +1,394 @@
+// Package bgp computes AS-level routes over the synthetic topology using the
+// standard Gao-Rexford model (valley-free paths, customer > peer > provider
+// preference, shortest AS path, lowest-ASN tie-break), and implements the
+// cloud's two network-tier egress/ingress policies:
+//
+//   - Premium tier: cold-potato. Outgoing traffic rides the cloud's private
+//     WAN and exits at the interconnection nearest the destination; incoming
+//     traffic is handed off by the neighbor near the source and rides the
+//     WAN to the region.
+//   - Standard tier: hot-potato. Outgoing traffic exits at an interconnection
+//     near the origin region and crosses the public Internet; incoming
+//     traffic stays on the public Internet and enters near the region.
+package bgp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/clasp-measurement/clasp/internal/geo"
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// ASN aliases the topology AS number type.
+type ASN = topology.ASN
+
+// Tier selects the cloud network service tier.
+type Tier int
+
+// The cloud's two network service tiers.
+const (
+	Premium Tier = iota
+	Standard
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	if t == Premium {
+		return "premium"
+	}
+	return "standard"
+}
+
+// route classes in preference order.
+const (
+	classCustomer = iota
+	classPeer
+	classProvider
+	classNone
+)
+
+// Tree is the routing state toward one destination AS: for every AS, the
+// best valley-free route (class, AS-hop distance, next hop).
+type Tree struct {
+	dst ASN
+	// per class: distance and next hop toward dst. dist < 0 means none.
+	dist [3]map[ASN]int
+	next [3]map[ASN]ASN
+}
+
+// Router computes and caches routing trees over a topology.
+type Router struct {
+	topo *topology.Topology
+
+	mu    sync.Mutex
+	trees map[ASN]*Tree
+
+	linkMu    sync.Mutex
+	linkCache map[linkCacheKey]*topology.Interconnect
+}
+
+type linkCacheKey struct {
+	region   string
+	neighbor ASN
+	anchor   string
+}
+
+// NewRouter creates a router for the given topology.
+func NewRouter(t *topology.Topology) *Router {
+	return &Router{
+		topo:      t,
+		trees:     make(map[ASN]*Tree),
+		linkCache: make(map[linkCacheKey]*topology.Interconnect),
+	}
+}
+
+// TreeTo returns the (cached) routing tree toward dst.
+func (r *Router) TreeTo(dst ASN) *Tree {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if tr, ok := r.trees[dst]; ok {
+		return tr
+	}
+	tr := r.compute(dst)
+	r.trees[dst] = tr
+	return tr
+}
+
+// compute runs the three-phase Gao-Rexford propagation toward dst.
+func (r *Router) compute(dst ASN) *Tree {
+	t := r.topo
+	tr := &Tree{dst: dst}
+	for c := 0; c < 3; c++ {
+		tr.dist[c] = make(map[ASN]int)
+		tr.next[c] = make(map[ASN]ASN)
+	}
+
+	// Phase 1: customer routes. An AS has a customer route if dst sits in
+	// its customer cone. BFS from dst following customer->provider edges.
+	type qe struct {
+		asn  ASN
+		dist int
+	}
+	queue := []qe{{dst, 0}}
+	tr.dist[classCustomer][dst] = 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if tr.dist[classCustomer][cur.asn] != cur.dist {
+			continue // superseded
+		}
+		provs := append([]ASN(nil), t.Providers(cur.asn)...)
+		sort.Slice(provs, func(i, j int) bool { return provs[i] < provs[j] })
+		for _, p := range provs {
+			nd := cur.dist + 1
+			if d, ok := tr.dist[classCustomer][p]; !ok || nd < d ||
+				(nd == d && cur.asn < tr.next[classCustomer][p]) {
+				if !ok || nd < tr.dist[classCustomer][p] {
+					queue = append(queue, qe{p, nd})
+				}
+				tr.dist[classCustomer][p] = nd
+				tr.next[classCustomer][p] = cur.asn
+			}
+		}
+	}
+
+	// Phase 2: peer routes. One peer edge, then a customer route.
+	for asn, d := range tr.dist[classCustomer] {
+		for _, p := range t.Peers(asn) {
+			nd := d + 1
+			if cur, ok := tr.dist[classPeer][p]; !ok || nd < cur ||
+				(nd == cur && asn < tr.next[classPeer][p]) {
+				tr.dist[classPeer][p] = nd
+				tr.next[classPeer][p] = asn
+			}
+		}
+	}
+
+	// Phase 3: provider routes. An AS learns from each provider that
+	// provider's best exportable route. Process by increasing distance
+	// (unit weights -> bucketed BFS).
+	best := func(asn ASN) (int, bool) {
+		if d, ok := tr.dist[classCustomer][asn]; ok {
+			return d, true
+		}
+		if d, ok := tr.dist[classPeer][asn]; ok {
+			return d, true
+		}
+		if d, ok := tr.dist[classProvider][asn]; ok {
+			return d, true
+		}
+		return 0, false
+	}
+	// Seed buckets with every AS that already has a route.
+	buckets := make([][]ASN, 1)
+	push := func(d int, a ASN) {
+		for len(buckets) <= d {
+			buckets = append(buckets, nil)
+		}
+		buckets[d] = append(buckets[d], a)
+	}
+	for _, a := range t.ASes() {
+		if d, ok := best(a.ASN); ok {
+			push(d, a.ASN)
+		}
+	}
+	for d := 0; d < len(buckets); d++ {
+		// Sort for deterministic tie-breaking.
+		bs := buckets[d]
+		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		for _, u := range bs {
+			bd, ok := best(u)
+			if !ok || bd != d {
+				continue // superseded by a better route
+			}
+			custs := append([]ASN(nil), t.Customers(u)...)
+			sort.Slice(custs, func(i, j int) bool { return custs[i] < custs[j] })
+			for _, c := range custs {
+				// Customer/peer routes always beat provider routes;
+				// never overwrite them.
+				if _, has := tr.dist[classCustomer][c]; has {
+					continue
+				}
+				if _, has := tr.dist[classPeer][c]; has {
+					continue
+				}
+				nd := d + 1
+				if cur, ok := tr.dist[classProvider][c]; !ok || nd < cur ||
+					(nd == cur && u < tr.next[classProvider][c]) {
+					if !ok || nd < tr.dist[classProvider][c] {
+						push(nd, c)
+					}
+					tr.dist[classProvider][c] = nd
+					tr.next[classProvider][c] = u
+				}
+			}
+		}
+	}
+	return tr
+}
+
+// Path returns the AS path from src to the tree's destination, inclusive of
+// both endpoints. ok is false when src has no valley-free route.
+func (tr *Tree) Path(src ASN) ([]ASN, bool) {
+	if src == tr.dst {
+		return []ASN{src}, true
+	}
+	var path []ASN
+	cur := src
+	// After the first peer or provider edge the remaining path must
+	// descend through customer routes (valley-free); the stored per-class
+	// next hops encode exactly that.
+	for cur != tr.dst {
+		path = append(path, cur)
+		if len(path) > 64 {
+			return nil, false // defensive: malformed state
+		}
+		var next ASN
+		if _, ok := tr.dist[classCustomer][cur]; ok {
+			next = tr.next[classCustomer][cur]
+		} else if _, ok := tr.dist[classPeer][cur]; ok {
+			next = tr.next[classPeer][cur]
+		} else if _, ok := tr.dist[classProvider][cur]; ok {
+			next = tr.next[classProvider][cur]
+		} else {
+			return nil, false
+		}
+		cur = next
+	}
+	return append(path, tr.dst), true
+}
+
+// Dist returns the AS-hop distance from src to the destination and whether a
+// route exists.
+func (tr *Tree) Dist(src ASN) (int, bool) {
+	if src == tr.dst {
+		return 0, true
+	}
+	for c := 0; c < 3; c++ {
+		if d, ok := tr.dist[c][src]; ok {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// Path returns the AS path from src to dst.
+func (r *Router) Path(src, dst ASN) ([]ASN, bool) {
+	return r.TreeTo(dst).Path(src)
+}
+
+// ASPathLen returns the number of AS hops (path length - 1) between src and
+// dst, or -1 when unreachable.
+func (r *Router) ASPathLen(src, dst ASN) int {
+	if d, ok := r.TreeTo(dst).Dist(src); ok {
+		return d
+	}
+	return -1
+}
+
+// EgressChoice describes the cloud-side routing decision for one flow.
+type EgressChoice struct {
+	Link *topology.Interconnect // interconnect crossed
+	Path []ASN                  // AS path cloud -> destination (inclusive)
+}
+
+// EgressLink selects the interconnect for traffic from a region to a
+// destination AS located at dstCity, under the given tier policy.
+func (r *Router) EgressLink(region string, dstASN ASN, dstCity string, tier Tier) (EgressChoice, error) {
+	t := r.topo
+	path, ok := r.Path(t.Cloud.ASN, dstASN)
+	if !ok || len(path) < 2 {
+		return EgressChoice{}, fmt.Errorf("bgp: no route from cloud to AS%d", dstASN)
+	}
+	neighbor := path[1]
+	anchorCity := dstCity
+	if tier == Standard {
+		reg, ok := t.Region(region)
+		if !ok {
+			return EgressChoice{}, fmt.Errorf("bgp: unknown region %q", region)
+		}
+		anchorCity = reg.City
+	}
+	link, err := r.nearestVisibleLink(region, neighbor, anchorCity)
+	if err != nil {
+		return EgressChoice{}, err
+	}
+	return EgressChoice{Link: link, Path: path}, nil
+}
+
+// IngressLink selects the interconnect where traffic from srcASN (at
+// srcCity) enters the cloud on its way to a region, under the given tier.
+func (r *Router) IngressLink(region string, srcASN ASN, srcCity string, tier Tier) (EgressChoice, error) {
+	t := r.topo
+	path, ok := r.Path(srcASN, t.Cloud.ASN)
+	if !ok || len(path) < 2 {
+		return EgressChoice{}, fmt.Errorf("bgp: no route from AS%d to cloud", srcASN)
+	}
+	neighbor := path[len(path)-2]
+	anchorCity := srcCity
+	if tier == Standard {
+		reg, ok := t.Region(region)
+		if !ok {
+			return EgressChoice{}, fmt.Errorf("bgp: unknown region %q", region)
+		}
+		anchorCity = reg.City
+	}
+	link, err := r.nearestVisibleLink(region, neighbor, anchorCity)
+	if err != nil {
+		return EgressChoice{}, err
+	}
+	return EgressChoice{Link: link, Path: path}, nil
+}
+
+// nearestVisibleLink picks the region-visible link with the given neighbor
+// whose facility is closest to anchorCity, breaking ties by lowest link ID.
+// Choices are cached: the decision is a pure function of its inputs.
+func (r *Router) nearestVisibleLink(region string, neighbor ASN, anchorCity string) (*topology.Interconnect, error) {
+	key := linkCacheKey{region: region, neighbor: neighbor, anchor: anchorCity}
+	r.linkMu.Lock()
+	if l, ok := r.linkCache[key]; ok {
+		r.linkMu.Unlock()
+		return l, nil
+	}
+	r.linkMu.Unlock()
+	t := r.topo
+	anchor, ok := t.CityCoord(anchorCity)
+	if !ok {
+		return nil, fmt.Errorf("bgp: unknown city %q", anchorCity)
+	}
+	var best *topology.Interconnect
+	bestD := 0.0
+	for _, l := range t.LinksOf(neighbor) {
+		if !t.IsVisible(region, l.ID) {
+			continue
+		}
+		c, ok := t.CityCoord(l.City)
+		if !ok {
+			continue
+		}
+		d := geo.DistanceKm(anchor, c)
+		if best == nil || d < bestD || (d == bestD && l.ID < best.ID) {
+			best, bestD = l, d
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("bgp: neighbor AS%d has no visible link in %s", neighbor, region)
+	}
+	r.linkMu.Lock()
+	r.linkCache[key] = best
+	r.linkMu.Unlock()
+	return best, nil
+}
+
+// EgressForProbe resolves the interconnect for a pilot probe target, which
+// is engineered onto a specific link. Falls back to EgressLink when the
+// address has no engineered link or that link is not visible from region.
+func (r *Router) EgressForProbe(region string, probe *ProbeDest) (EgressChoice, error) {
+	t := r.topo
+	if probe.LinkID >= 0 && t.IsVisible(region, probe.LinkID) {
+		link := t.Link(probe.LinkID)
+		path, ok := r.Path(t.Cloud.ASN, probe.ASN)
+		if ok {
+			// Respect the engineered link even when the default
+			// best path would pick a different neighbor.
+			if len(path) < 2 || path[1] != link.Neighbor {
+				path = []ASN{t.Cloud.ASN, link.Neighbor, probe.ASN}
+				if link.Neighbor == probe.ASN {
+					path = path[:2]
+				}
+			}
+			return EgressChoice{Link: link, Path: path}, nil
+		}
+	}
+	return r.EgressLink(region, probe.ASN, probe.City, Premium)
+}
+
+// ProbeDest is a pilot-scan destination: an address engineered through a
+// known link.
+type ProbeDest struct {
+	ASN    ASN
+	City   string
+	LinkID int // -1 when not engineered
+}

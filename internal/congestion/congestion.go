@@ -1,0 +1,275 @@
+// Package congestion implements CLASP's throughput-variability congestion
+// detection (§3.3):
+//
+//   - the normalised peak-to-trough daily difference
+//     V(s,d) = (Tmax(s,d) - Tmin(s,d)) / Tmax(s,d),
+//   - the normalised intra-day hourly difference
+//     VH(s,t) = (Tmax(s,d) - T(s,t)) / Tmax(s,d),
+//   - the elbow method over the congested-fraction-vs-threshold curve that
+//     justified H = 0.5,
+//   - congestion-event extraction and hourly congestion probability in the
+//     test server's local time (Fig. 6).
+package congestion
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/stats"
+)
+
+// DefaultThreshold is the paper's chosen variability threshold H.
+const DefaultThreshold = 0.5
+
+// Sample is one hourly throughput observation for a VM-server pair.
+type Sample struct {
+	Time time.Time // UTC
+	Mbps float64
+}
+
+// Series is the hourly history of one VM-server pair, in time order.
+type Series struct {
+	PairID  string // e.g. "us-west1/ookla-123"
+	Samples []Sample
+}
+
+// dayIndex buckets a UTC timestamp into a day number.
+func dayIndex(t time.Time) int { return int(t.Unix() / 86400) }
+
+// Day is the per-day summary of one pair.
+type Day struct {
+	PairID     string
+	Day        int // days since the Unix epoch
+	Tmax, Tmin float64
+	V          float64 // (Tmax - Tmin) / Tmax
+	Samples    int
+}
+
+// SplitDays summarises a series into per-day V(s,d) records. Days with
+// fewer than minSamples observations are skipped (a half-covered day can
+// fake a low V).
+func SplitDays(s Series, minSamples int) []Day {
+	if minSamples <= 0 {
+		minSamples = 4
+	}
+	byDay := make(map[int][]float64)
+	for _, smp := range s.Samples {
+		d := dayIndex(smp.Time)
+		byDay[d] = append(byDay[d], smp.Mbps)
+	}
+	days := make([]int, 0, len(byDay))
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	var out []Day
+	for _, d := range days {
+		xs := byDay[d]
+		if len(xs) < minSamples {
+			continue
+		}
+		min, max, _ := stats.MinMax(xs)
+		v := 0.0
+		if max > 0 {
+			v = (max - min) / max
+		}
+		out = append(out, Day{PairID: s.PairID, Day: d, Tmax: max, Tmin: min, V: v, Samples: len(xs)})
+	}
+	return out
+}
+
+// Event is one congested hour: VH(s,t) exceeded the threshold.
+type Event struct {
+	PairID string
+	Time   time.Time
+	Mbps   float64
+	Tmax   float64 // the day's maximum
+	VH     float64
+}
+
+// Detector labels days and hours against a threshold H.
+type Detector struct {
+	H          float64
+	MinSamples int // minimum samples per day (default 4)
+}
+
+// NewDetector creates a detector with the paper's defaults.
+func NewDetector() *Detector { return &Detector{H: DefaultThreshold} }
+
+// CongestedDays returns the days of the series with V(s,d) > H.
+func (d *Detector) CongestedDays(s Series) []Day {
+	var out []Day
+	for _, day := range SplitDays(s, d.MinSamples) {
+		if day.V > d.H {
+			out = append(out, day)
+		}
+	}
+	return out
+}
+
+// Events returns the congested hours of the series: samples whose
+// normalised intra-day difference VH(s,t) exceeds H.
+func (d *Detector) Events(s Series) []Event {
+	maxByDay := make(map[int]float64)
+	countByDay := make(map[int]int)
+	for _, smp := range s.Samples {
+		di := dayIndex(smp.Time)
+		countByDay[di]++
+		if smp.Mbps > maxByDay[di] {
+			maxByDay[di] = smp.Mbps
+		}
+	}
+	min := d.MinSamples
+	if min <= 0 {
+		min = 4
+	}
+	var out []Event
+	for _, smp := range s.Samples {
+		di := dayIndex(smp.Time)
+		tmax := maxByDay[di]
+		if tmax <= 0 || countByDay[di] < min {
+			continue
+		}
+		vh := (tmax - smp.Mbps) / tmax
+		if vh > d.H {
+			out = append(out, Event{PairID: s.PairID, Time: smp.Time, Mbps: smp.Mbps, Tmax: tmax, VH: vh})
+		}
+	}
+	return out
+}
+
+// FractionCongestedDays returns the fraction of pair-days with V > H
+// across many series (one point of Fig. 2a).
+func FractionCongestedDays(series []Series, h float64, minSamples int) float64 {
+	total, congested := 0, 0
+	for _, s := range series {
+		for _, day := range SplitDays(s, minSamples) {
+			total++
+			if day.V > h {
+				congested++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(congested) / float64(total)
+}
+
+// FractionCongestedHours returns the fraction of pair-hours with VH > H
+// (one point of Fig. 2b).
+func FractionCongestedHours(series []Series, h float64, minSamples int) float64 {
+	det := Detector{H: h, MinSamples: minSamples}
+	total, congested := 0, 0
+	for _, s := range series {
+		// Count only samples on qualifying days.
+		days := make(map[int]int)
+		for _, smp := range s.Samples {
+			days[dayIndex(smp.Time)]++
+		}
+		min := minSamples
+		if min <= 0 {
+			min = 4
+		}
+		for _, n := range days {
+			if n >= min {
+				total += n
+			}
+		}
+		congested += len(det.Events(s))
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(congested) / float64(total)
+}
+
+// SweepPoint is one point of the threshold sweep in Fig. 2.
+type SweepPoint struct {
+	H        float64
+	Fraction float64
+}
+
+// SweepDays evaluates FractionCongestedDays over a threshold grid.
+func SweepDays(series []Series, hs []float64, minSamples int) []SweepPoint {
+	out := make([]SweepPoint, len(hs))
+	for i, h := range hs {
+		out[i] = SweepPoint{H: h, Fraction: FractionCongestedDays(series, h, minSamples)}
+	}
+	return out
+}
+
+// SweepHours evaluates FractionCongestedHours over a threshold grid.
+func SweepHours(series []Series, hs []float64, minSamples int) []SweepPoint {
+	out := make([]SweepPoint, len(hs))
+	for i, h := range hs {
+		out[i] = SweepPoint{H: h, Fraction: FractionCongestedHours(series, h, minSamples)}
+	}
+	return out
+}
+
+// ElbowThreshold locates the knee of a sweep with the maximum-distance-to-
+// chord method, returning the H at the elbow.
+func ElbowThreshold(sweep []SweepPoint) (float64, error) {
+	if len(sweep) < 3 {
+		return 0, fmt.Errorf("congestion: sweep too short for elbow detection")
+	}
+	xs := make([]float64, len(sweep))
+	ys := make([]float64, len(sweep))
+	for i, p := range sweep {
+		xs[i] = p.H
+		ys[i] = p.Fraction
+	}
+	idx, err := stats.Elbow(xs, ys)
+	if err != nil {
+		return 0, fmt.Errorf("congestion: %w", err)
+	}
+	return sweep[idx].H, nil
+}
+
+// HourlyProbability computes the congestion probability per local
+// hour-of-day: events in that hour divided by measurements in that hour.
+// utcOffset converts timestamps to the test server's local time, aligning
+// with user activity as Fig. 6 does.
+func HourlyProbability(s Series, events []Event, utcOffset int) [24]float64 {
+	var meas, ev [24]int
+	localHour := func(t time.Time) int {
+		h := (t.Hour() + utcOffset) % 24
+		if h < 0 {
+			h += 24
+		}
+		return h
+	}
+	for _, smp := range s.Samples {
+		meas[localHour(smp.Time)]++
+	}
+	for _, e := range events {
+		ev[localHour(e.Time)]++
+	}
+	var out [24]float64
+	for h := 0; h < 24; h++ {
+		if meas[h] > 0 {
+			out[h] = float64(ev[h]) / float64(meas[h])
+		}
+	}
+	return out
+}
+
+// CongestedPair reports whether a pair qualifies as "congested" under the
+// Fig. 8 rule: more than fracDays of its measured days contain at least one
+// congestion event (the paper used 10 %).
+func CongestedPair(s Series, det *Detector, fracDays float64) bool {
+	if fracDays <= 0 {
+		fracDays = 0.1
+	}
+	days := SplitDays(s, det.MinSamples)
+	if len(days) == 0 {
+		return false
+	}
+	eventDays := make(map[int]bool)
+	for _, e := range det.Events(s) {
+		eventDays[dayIndex(e.Time)] = true
+	}
+	return float64(len(eventDays))/float64(len(days)) > fracDays
+}

@@ -1,0 +1,240 @@
+// Package core is the CLASP engine: it owns the synthetic Internet, the
+// cloud substrate and the data pipeline, runs the paper's two selection
+// methods and measurement campaigns, and regenerates every table and
+// figure of the evaluation (Table 1, Figs. 2-8).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/alias"
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bdrmap"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/cloud"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/orchestrator"
+	"github.com/clasp-measurement/clasp/internal/selection"
+	"github.com/clasp-measurement/clasp/internal/speedchecker"
+	"github.com/clasp-measurement/clasp/internal/topology"
+	"github.com/clasp-measurement/clasp/internal/tsdb"
+)
+
+// CampaignStart is the virtual-time start of the paper's measurement
+// window (May 1, 2020).
+var CampaignStart = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+// TopologyRegions are the US regions measured with the topology-based
+// method; Table 1 reports five of them and Fig. 2 adds us-west4.
+var TopologyRegions = []string{
+	"us-west1", "us-west2", "us-west4", "us-east1", "us-east4", "us-central1",
+}
+
+// Table1Regions are the regions in Table 1.
+var Table1Regions = []string{
+	"us-west1", "us-west2", "us-east1", "us-east4", "us-central1",
+}
+
+// DifferentialRegions ran the two-tier experiments.
+var DifferentialRegions = []string{"us-central1", "us-east1", "europe-west1"}
+
+// RegionBudgets caps per-region deployments (the paper deployed every
+// selected server in us-west1/us-east1 but only subsets elsewhere).
+var RegionBudgets = map[string]int{
+	"us-west1":    106,
+	"us-west2":    25,
+	"us-west4":    25,
+	"us-east1":    184,
+	"us-east4":    40,
+	"us-central1": 56,
+}
+
+// Options configures a CLASP instance.
+type Options struct {
+	// Seed drives all generation and simulation randomness.
+	Seed int64
+	// Scale sizes the synthetic Internet (1.0 = paper scale; tests use
+	// ~0.1). Ignored when TopoConfig is set.
+	Scale float64
+	// TopoConfig fully overrides topology generation.
+	TopoConfig *topology.Config
+	// SimConfig overrides the simulator calibration.
+	SimConfig *netsim.Config
+}
+
+// CLASP is a fully wired platform instance.
+type CLASP struct {
+	Opts     Options
+	Topo     *topology.Topology
+	Router   *bgp.Router
+	Sim      *netsim.Sim
+	Cloud    *cloud.Platform
+	Bucket   *cloud.Bucket
+	Store    *tsdb.Store
+	Mapper   *bdrmap.Mapper
+	Resolver *alias.Prober
+	Checker  *speedchecker.Platform
+}
+
+// New builds a CLASP instance.
+func New(opts Options) (*CLASP, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	tcfg := topology.PaperScaleConfig()
+	if opts.TopoConfig != nil {
+		tcfg = *opts.TopoConfig
+	} else if opts.Scale > 0 {
+		tcfg.Scale = opts.Scale
+	}
+	tcfg.Seed = opts.Seed
+	topo, err := topology.New(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building topology: %w", err)
+	}
+	router := bgp.NewRouter(topo)
+	scfg := netsim.DefaultConfig(opts.Seed)
+	if opts.SimConfig != nil {
+		scfg = *opts.SimConfig
+		scfg.Seed = opts.Seed
+	}
+	sim := netsim.New(topo, router, scfg)
+	platform := cloud.New(topo, sim, cloud.Pricing{})
+	// The paper centralised processing and storage in one region.
+	bucket, err := platform.CreateBucket("clasp-results", "us-east1")
+	if err != nil {
+		return nil, fmt.Errorf("core: creating results bucket: %w", err)
+	}
+	resolver := alias.NewProber(topo, opts.Seed)
+	return &CLASP{
+		Opts:     opts,
+		Topo:     topo,
+		Router:   router,
+		Sim:      sim,
+		Cloud:    platform,
+		Bucket:   bucket,
+		Store:    tsdb.NewStore(),
+		Mapper:   bdrmap.FromTopology(topo, resolver),
+		Resolver: resolver,
+		Checker:  speedchecker.New(sim),
+	}, nil
+}
+
+// SelectTopologyServers runs the topology-based method for one region,
+// applying the region's budget from RegionBudgets.
+func (c *CLASP) SelectTopologyServers(region string) (*selection.TopoResult, error) {
+	return selection.TopologyBased(c.Sim, c.Mapper, selection.TopoParams{
+		Region: region,
+		Budget: RegionBudgets[region],
+		Seed:   c.Opts.Seed,
+	})
+}
+
+// SelectDifferentialServers runs the preliminary latency scan and the
+// differential-based method for one region. minSamples scales with the
+// topology (the paper's >= 100 rule assumes Speedchecker-scale VP counts).
+func (c *CLASP) SelectDifferentialServers(region string, minSamples int) ([]selection.DiffSelected, []speedchecker.TierDelta, error) {
+	if minSamples <= 0 {
+		minSamples = 100
+	}
+	aggs := c.Checker.RunPreliminary(speedchecker.Params{
+		Regions:    []string{region},
+		MinSamples: minSamples,
+		Start:      CampaignStart.Add(-30 * 24 * time.Hour),
+	})
+	deltas := speedchecker.Deltas(aggs)
+	target := 15
+	if region == "europe-west1" {
+		target = 17
+	}
+	sel, err := selection.DifferentialBased(c.Topo, deltas, selection.DiffParams{
+		Region:     region,
+		Target:     target,
+		MinSamples: minSamples,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return sel, deltas, nil
+}
+
+// CampaignResult bundles a campaign's records with its selection and
+// orchestration report.
+type CampaignResult struct {
+	Region   string
+	Records  []analysis.Measurement
+	Report   *orchestrator.Report
+	Selected []*topology.Server
+}
+
+// RunTopologyCampaign selects servers with the topology-based method and
+// measures them hourly (premium tier) for the given number of days.
+func (c *CLASP) RunTopologyCampaign(region string, days int) (*CampaignResult, *selection.TopoResult, error) {
+	sel, err := c.SelectTopologyServers(region)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: topology selection in %s: %w", region, err)
+	}
+	servers := make([]*topology.Server, 0, len(sel.Selected))
+	for _, s := range sel.Selected {
+		servers = append(servers, s.Server)
+	}
+	res, err := c.runCampaign(region, servers, []bgp.Tier{bgp.Premium}, days)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, sel, nil
+}
+
+// RunDifferentialCampaign selects servers with the differential-based
+// method and measures them hourly over both tiers.
+func (c *CLASP) RunDifferentialCampaign(region string, days, minSamples int) (*CampaignResult, []selection.DiffSelected, error) {
+	sel, _, err := c.SelectDifferentialServers(region, minSamples)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: differential selection in %s: %w", region, err)
+	}
+	if len(sel) == 0 {
+		return nil, nil, fmt.Errorf("core: differential selection in %s found no servers", region)
+	}
+	servers := make([]*topology.Server, 0, len(sel))
+	for _, s := range sel {
+		servers = append(servers, s.Server)
+	}
+	res, err := c.runCampaign(region, servers, []bgp.Tier{bgp.Premium, bgp.Standard}, days)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, sel, nil
+}
+
+// storeIndexLimit bounds how large a campaign still gets indexed into the
+// shared time-series store. The store powers interactive queries; bulk
+// paper-scale campaigns (millions of records) stay in the returned result
+// to keep memory proportional to one campaign.
+const storeIndexLimit = 250_000
+
+func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []bgp.Tier, days int) (*CampaignResult, error) {
+	orch := orchestrator.New(c.Sim, c.Cloud, c.Bucket)
+	sink := &orchestrator.SliceSink{}
+	sinks := orchestrator.MultiSink{sink}
+	if len(servers)*days*24*2*len(tiers) <= storeIndexLimit {
+		sinks = append(sinks, &orchestrator.StoreSink{Store: c.Store})
+	}
+	rep, err := orch.Run(orchestrator.Config{
+		Region:  region,
+		Servers: servers,
+		Tiers:   tiers,
+		Start:   CampaignStart,
+		Days:    days,
+		Seed:    c.Opts.Seed,
+	}, sinks)
+	if err != nil {
+		return nil, fmt.Errorf("core: campaign in %s: %w", region, err)
+	}
+	return &CampaignResult{
+		Region:   region,
+		Records:  sink.Out,
+		Report:   rep,
+		Selected: servers,
+	}, nil
+}

@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/congestion"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/selection"
+	"github.com/clasp-measurement/clasp/internal/stats"
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// --- Table 1 -------------------------------------------------------------------
+
+// Table1Row reproduces one row of Table 1: interdomain-link coverage of the
+// topology-based selection.
+type Table1Row struct {
+	Region      string
+	PilotLinks  int     // links bdrmap found in the pilot scan
+	ServerLinks int     // links traversed by traceroutes to all US servers
+	Measured    int     // servers measured by CLASP (one per covered link)
+	CoveragePct float64 // Measured / ServerLinks * 100
+	SharedPct   float64 // servers sharing a link with others
+}
+
+// Table1 runs the topology-based selection in each region and reports the
+// coverage summary.
+func (c *CLASP) Table1(regions []string) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, region := range regions {
+		sel, err := c.SelectTopologyServers(region)
+		if err != nil {
+			return nil, fmt.Errorf("core: table 1 for %s: %w", region, err)
+		}
+		rows = append(rows, Table1Row{
+			Region:      region,
+			PilotLinks:  sel.PilotLinks.LinkCount(),
+			ServerLinks: sel.ServerLinkCount,
+			Measured:    len(sel.Selected),
+			CoveragePct: sel.Coverage() * 100,
+			SharedPct:   sel.SharedFraction * 100,
+		})
+	}
+	return rows, nil
+}
+
+// --- Fig. 2 --------------------------------------------------------------------
+
+// Fig2Series is one region's threshold sweep for congested pair-days
+// (Fig. 2a) and pair-hours (Fig. 2b).
+type Fig2Series struct {
+	Region string
+	Days   []congestion.SweepPoint
+	Hours  []congestion.SweepPoint
+	// ElbowH is the knee of the day sweep (the paper chose H = 0.5).
+	ElbowH float64
+}
+
+// DefaultThresholdGrid is the H grid used for the Fig. 2 sweeps.
+func DefaultThresholdGrid() []float64 {
+	hs := make([]float64, 0, 21)
+	for i := 0; i <= 20; i++ {
+		hs = append(hs, float64(i)/20)
+	}
+	return hs
+}
+
+// Fig2 computes the threshold sweeps from per-region campaign records
+// (download direction, premium tier — the ingress measurements of §3.3).
+func Fig2(results map[string]*CampaignResult, hs []float64) []Fig2Series {
+	if hs == nil {
+		hs = DefaultThresholdGrid()
+	}
+	regions := make([]string, 0, len(results))
+	for r := range results {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	var out []Fig2Series
+	for _, region := range regions {
+		series := analysis.GroupSeries(results[region].Records, netsim.Download, bgp.Premium)
+		s := Fig2Series{
+			Region: region,
+			Days:   congestion.SweepDays(series, hs, 0),
+			Hours:  congestion.SweepHours(series, hs, 0),
+		}
+		if h, err := congestion.ElbowThreshold(s.Days); err == nil {
+			s.ElbowH = h
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- Fig. 3 --------------------------------------------------------------------
+
+// Fig3Data is the two-day annotated time series of one pair: download
+// throughput, its normalised intra-day difference, and the congested hours.
+type Fig3Data struct {
+	PairID  string
+	Samples []congestion.Sample
+	VH      []float64
+	Events  []congestion.Event
+}
+
+// Fig3 extracts the paper's example series: the Cox (Las Vegas) server
+// measured from us-west1, over the first two-day window containing at
+// least one congestion event.
+func (c *CLASP) Fig3(result *CampaignResult) (*Fig3Data, error) {
+	var cox *topology.Server
+	for _, s := range c.Topo.Servers() {
+		if s.ASN == 22773 && s.City == "Las Vegas" {
+			cox = s
+			break
+		}
+	}
+	if cox == nil {
+		return nil, fmt.Errorf("core: no Cox Las Vegas server in the topology")
+	}
+	var coxSeries *congestion.Series
+	for _, sr := range analysis.GroupSeries(result.Records, netsim.Download, bgp.Premium) {
+		sr := sr
+		if sr.PairID == fmt.Sprintf("%s/%d/premium/download", result.Region, cox.ID) {
+			coxSeries = &sr
+			break
+		}
+	}
+	if coxSeries == nil {
+		// The pair was not part of the selection (the paper hand-picked
+		// it); measure it directly over the campaign window.
+		days := 30
+		if len(result.Records) > 0 {
+			first := result.Records[0].Time
+			last := result.Records[len(result.Records)-1].Time
+			if d := int(last.Sub(first).Hours()/24) + 1; d > 0 {
+				days = d
+			}
+		}
+		sr := congestion.Series{PairID: fmt.Sprintf("%s/%d/premium/download", result.Region, cox.ID)}
+		for h := 0; h < days*24; h++ {
+			at := CampaignStart.Add(time.Duration(h) * time.Hour)
+			res, err := c.Sim.Measure(netsim.TestSpec{
+				Region: result.Region, Server: cox, Tier: bgp.Premium,
+				Dir: netsim.Download, Time: at,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("core: measuring Cox pair directly: %w", err)
+			}
+			sr.Samples = append(sr.Samples, congestion.Sample{Time: at, Mbps: res.ThroughputMbps})
+		}
+		coxSeries = &sr
+	}
+	det := congestion.NewDetector()
+	events := det.Events(*coxSeries)
+
+	// Find a two-day window with events; fall back to the first two days.
+	startIdx := 0
+	if len(events) > 0 {
+		evDay := events[0].Time.Truncate(24 * 3600e9)
+		for i, s := range coxSeries.Samples {
+			if !s.Time.Before(evDay) {
+				startIdx = i
+				break
+			}
+		}
+	}
+	endIdx := startIdx + 48
+	if endIdx > len(coxSeries.Samples) {
+		endIdx = len(coxSeries.Samples)
+	}
+	window := congestion.Series{PairID: coxSeries.PairID, Samples: coxSeries.Samples[startIdx:endIdx]}
+	wEvents := det.Events(window)
+
+	// VH per sample within the window.
+	vh := make([]float64, len(window.Samples))
+	dayMax := make(map[int64]float64)
+	for _, s := range window.Samples {
+		d := s.Time.Unix() / 86400
+		if s.Mbps > dayMax[d] {
+			dayMax[d] = s.Mbps
+		}
+	}
+	for i, s := range window.Samples {
+		if m := dayMax[s.Time.Unix()/86400]; m > 0 {
+			vh[i] = (m - s.Mbps) / m
+		}
+	}
+	return &Fig3Data{PairID: window.PairID, Samples: window.Samples, VH: vh, Events: wEvents}, nil
+}
+
+// --- Fig. 4 --------------------------------------------------------------------
+
+// Fig4Data is one panel of Fig. 4: per-(server, month) p95 download vs p5
+// latency points with marginal KDEs.
+type Fig4Data struct {
+	Region  string
+	Tier    bgp.Tier
+	Points  []analysis.PerfPoint
+	DownKDE []stats.KDEPoint
+	LatKDE  []stats.KDEPoint
+}
+
+// Fig4 builds a panel from campaign records for one tier.
+func Fig4(result *CampaignResult, tier bgp.Tier) (*Fig4Data, error) {
+	var filtered []analysis.Measurement
+	for _, m := range result.Records {
+		if m.Tier == tier {
+			filtered = append(filtered, m)
+		}
+	}
+	points := analysis.PerfPoints(filtered)
+	if len(points) == 0 {
+		return nil, fmt.Errorf("core: no perf points for %s/%s", result.Region, tier)
+	}
+	down, err := analysis.MarginalKDE(points, false)
+	if err != nil {
+		return nil, err
+	}
+	lat, err := analysis.MarginalKDE(points, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Data{Region: result.Region, Tier: tier, Points: points, DownKDE: down, LatKDE: lat}, nil
+}
+
+// --- Fig. 5 --------------------------------------------------------------------
+
+// Fig5Curve is one CDF of relative tier difference, for one metric and one
+// preliminary-latency class.
+type Fig5Curve struct {
+	Metric analysis.Metric
+	Class  selection.DiffClass
+	CDF    []stats.CDFPoint
+	N      int
+}
+
+// Fig5Summary carries the curves plus the headline fractions of §4.1.
+type Fig5Summary struct {
+	Region string
+	Curves []Fig5Curve
+	// StdHigherDownload is the fraction of download deltas with the
+	// standard tier faster (paper: standard generally higher).
+	StdHigherDownload float64
+	// Within50 is the fraction of download deltas with |Δ| < 0.5
+	// (paper: > 92 %).
+	Within50 float64
+}
+
+// Fig5 computes the tier-difference CDFs from a differential campaign,
+// grouping servers by their preliminary-scan class.
+func Fig5(result *CampaignResult, selected []selection.DiffSelected) (*Fig5Summary, error) {
+	classOf := make(map[int]selection.DiffClass, len(selected))
+	for _, s := range selected {
+		classOf[s.Server.ID] = s.Class
+	}
+	out := &Fig5Summary{Region: result.Region}
+	for _, metric := range []analysis.Metric{analysis.MetricDownload, analysis.MetricUpload, analysis.MetricLatency} {
+		deltas := analysis.TierDeltas(result.Records, result.Region, metric)
+		if metric == analysis.MetricDownload {
+			out.StdHigherDownload = analysis.FractionStandardHigher(deltas)
+			out.Within50 = analysis.FractionWithin(deltas, 0.5)
+		}
+		byClass := make(map[selection.DiffClass][]analysis.TierDelta)
+		for _, d := range deltas {
+			cl, ok := classOf[d.ServerID]
+			if !ok {
+				continue
+			}
+			byClass[cl] = append(byClass[cl], d)
+		}
+		for _, cl := range []selection.DiffClass{selection.Comparable, selection.PremiumLower, selection.StandardLower} {
+			ds := byClass[cl]
+			if len(ds) == 0 {
+				continue
+			}
+			cdf, err := analysis.DeltaCDF(ds)
+			if err != nil {
+				continue
+			}
+			out.Curves = append(out.Curves, Fig5Curve{Metric: metric, Class: cl, CDF: cdf, N: len(ds)})
+		}
+	}
+	if len(out.Curves) == 0 {
+		return nil, fmt.Errorf("core: no tier-delta curves for %s", result.Region)
+	}
+	return out, nil
+}
+
+// --- Fig. 6 --------------------------------------------------------------------
+
+// Fig6Line is the hourly congestion probability of one pair, labelled
+// <Location><Network> as in the figure.
+type Fig6Line struct {
+	Label  string
+	Tier   bgp.Tier
+	Events int
+	Probs  [24]float64 // indexed by server-local hour
+}
+
+// Fig6 returns the hourly congestion probability of the top-n most
+// congested pairs in a campaign, per tier, in server-local time.
+func (c *CLASP) Fig6(result *CampaignResult, tier bgp.Tier, topN int) []Fig6Line {
+	if topN <= 0 {
+		topN = 10
+	}
+	det := congestion.NewDetector()
+	series := analysis.GroupSeriesWithServer(result.Records, netsim.Download, tier)
+	type cand struct {
+		line   Fig6Line
+		events int
+	}
+	var cands []cand
+	for _, sw := range series {
+		events := det.Events(sw.Series)
+		if len(events) == 0 {
+			continue
+		}
+		srv := c.Topo.Server(sw.ServerID)
+		if srv == nil {
+			continue
+		}
+		city, ok := c.Topo.CityOf(srv.City)
+		if !ok {
+			continue
+		}
+		as := c.Topo.AS(srv.ASN)
+		label := fmt.Sprintf("<%s><%s AS%d>", srv.City, as.Name, srv.ASN)
+		cands = append(cands, cand{
+			line: Fig6Line{
+				Label:  label,
+				Tier:   tier,
+				Events: len(events),
+				Probs:  congestion.HourlyProbability(sw.Series, events, city.UTCOffset),
+			},
+			events: len(events),
+		})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].events != cands[j].events {
+			return cands[i].events > cands[j].events
+		}
+		return cands[i].line.Label < cands[j].line.Label
+	})
+	if len(cands) > topN {
+		cands = cands[:topN]
+	}
+	out := make([]Fig6Line, len(cands))
+	for i, c := range cands {
+		out[i] = c.line
+	}
+	return out
+}
+
+// --- Fig. 7 --------------------------------------------------------------------
+
+// Fig7Point is one map marker: a cloud region or a selected server.
+type Fig7Point struct {
+	Region string // owning region panel
+	Kind   string // "region", "topology", "differential"
+	Label  string
+	Lat    float64
+	Lon    float64
+}
+
+// Fig7 returns the map markers for a region's selections.
+func (c *CLASP) Fig7(region string, topo *selection.TopoResult, diff []selection.DiffSelected) []Fig7Point {
+	var out []Fig7Point
+	if r, ok := c.Topo.Region(region); ok {
+		if coord, ok := c.Topo.CityCoord(r.City); ok {
+			out = append(out, Fig7Point{Region: region, Kind: "region", Label: r.City, Lat: coord.Lat, Lon: coord.Lon})
+		}
+	}
+	if topo != nil {
+		for _, s := range topo.Selected {
+			out = append(out, Fig7Point{Region: region, Kind: "topology", Label: s.Server.Host, Lat: s.Server.Lat, Lon: s.Server.Lon})
+		}
+	}
+	for _, s := range diff {
+		out = append(out, Fig7Point{Region: region, Kind: "differential", Label: s.Server.Host, Lat: s.Server.Lat, Lon: s.Server.Lon})
+	}
+	return out
+}
+
+// --- Fig. 8 --------------------------------------------------------------------
+
+// Fig8 labels each measured server as congested (>10 % of days with an
+// event) and groups by business type.
+func (c *CLASP) Fig8(result *CampaignResult, tier bgp.Tier) []analysis.Fig8Row {
+	det := congestion.NewDetector()
+	series := analysis.GroupSeriesWithServer(result.Records, netsim.Download, tier)
+	congested := make(map[int]bool)
+	var ids []int
+	for _, sw := range series {
+		ids = append(ids, sw.ServerID)
+		if congestion.CongestedPair(sw.Series, det, 0.1) {
+			congested[sw.ServerID] = true
+		}
+	}
+	return analysis.Fig8Counts(c.Topo, result.Region, ids, congested)
+}
+
+// --- Headline findings -----------------------------------------------------------
+
+// Headlines are the paper's four main quantitative findings (§1).
+type Headlines struct {
+	// CongestedHourFrac: fraction of pair-hours with a >50 % drop from
+	// the daily peak (paper: 1.3-3 %).
+	CongestedHourFrac float64
+	// CongestedISPFrac: fraction of measured ISPs with events on >10 % of
+	// days (paper: 30-70 %).
+	CongestedISPFrac float64
+	// P95DownIn200600: fraction of topology-selected servers whose p95
+	// download falls in 200-600 Mbps (paper: ~80 %).
+	P95DownIn200600 float64
+	// StdTierHigherFrac: fraction of download deltas where the standard
+	// tier was faster.
+	StdTierHigherFrac float64
+}
+
+// ComputeHeadlines derives the findings from topology-campaign results and
+// an optional differential campaign.
+func (c *CLASP) ComputeHeadlines(topoResults map[string]*CampaignResult, diff *CampaignResult) Headlines {
+	var h Headlines
+	var allSeries []congestion.Series
+	ispPairs, ispCongested := 0, 0
+	det := congestion.NewDetector()
+	var perf []analysis.PerfPoint
+	for _, res := range topoResults {
+		series := analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium)
+		for _, sw := range series {
+			allSeries = append(allSeries, sw.Series)
+			if analysis.BusinessOf(c.Topo, sw.ServerID) == topology.BizISP {
+				ispPairs++
+				if congestion.CongestedPair(sw.Series, det, 0.1) {
+					ispCongested++
+				}
+			}
+		}
+		perf = append(perf, analysis.PerfPoints(res.Records)...)
+	}
+	h.CongestedHourFrac = congestion.FractionCongestedHours(allSeries, congestion.DefaultThreshold, 0)
+	if ispPairs > 0 {
+		h.CongestedISPFrac = float64(ispCongested) / float64(ispPairs)
+	}
+	in := 0
+	for _, p := range perf {
+		if p.P95Down >= 200 && p.P95Down <= 600 {
+			in++
+		}
+	}
+	if len(perf) > 0 {
+		h.P95DownIn200600 = float64(in) / float64(len(perf))
+	}
+	if diff != nil {
+		deltas := analysis.TierDeltas(diff.Records, diff.Region, analysis.MetricDownload)
+		h.StdTierHigherFrac = analysis.FractionStandardHigher(deltas)
+	}
+	return h
+}

@@ -1,0 +1,356 @@
+// Package hmm implements the paper's proposed future-work congestion
+// detector (§5): a Gaussian hidden Markov model over throughput time
+// series, trained with Baum-Welch and decoded with Viterbi, plus the
+// autocorrelation diagnostics (after Dhamdhere et al., SIGCOMM 2018) that
+// reveal diurnal congestion patterns. Compared with the V > H threshold
+// rule, the HMM captures state persistence: a congested hour is more likely
+// to be followed by another congested hour.
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a K-state HMM with Gaussian emissions.
+type Model struct {
+	K    int
+	Pi   []float64   // initial state distribution
+	A    [][]float64 // transition matrix
+	Mean []float64
+	Var  []float64
+	// LogLikelihood of the training data after the final iteration.
+	LogLikelihood float64
+	// Iterations actually run by Fit.
+	Iterations int
+}
+
+// NewModel initialises a K-state model with means spread across the data
+// range — a standard k-quantile initialisation.
+func NewModel(k int, data []float64) (*Model, error) {
+	if k < 2 {
+		return nil, errors.New("hmm: need at least 2 states")
+	}
+	if len(data) < 2*k {
+		return nil, fmt.Errorf("hmm: %d observations too few for %d states", len(data), k)
+	}
+	min, max := data[0], data[0]
+	var sum, sum2 float64
+	for _, x := range data {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+		sum += x
+		sum2 += x * x
+	}
+	n := float64(len(data))
+	variance := sum2/n - (sum/n)*(sum/n)
+	if variance <= 0 {
+		variance = 1
+	}
+	m := &Model{
+		K:    k,
+		Pi:   make([]float64, k),
+		A:    make([][]float64, k),
+		Mean: make([]float64, k),
+		Var:  make([]float64, k),
+	}
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	for i := 0; i < k; i++ {
+		m.Pi[i] = 1 / float64(k)
+		m.A[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			if i == j {
+				m.A[i][j] = 0.8
+			} else {
+				m.A[i][j] = 0.2 / float64(k-1)
+			}
+		}
+		m.Mean[i] = min + span*(float64(i)+0.5)/float64(k)
+		m.Var[i] = variance / float64(k)
+	}
+	return m, nil
+}
+
+// gaussian is the emission density.
+func gaussian(x, mean, variance float64) float64 {
+	if variance < 1e-9 {
+		variance = 1e-9
+	}
+	d := x - mean
+	return math.Exp(-d*d/(2*variance)) / math.Sqrt(2*math.Pi*variance)
+}
+
+// forwardBackward runs the scaled forward-backward algorithm, returning
+// gamma (state posteriors), xi sums (transition posteriors) and the data
+// log-likelihood.
+func (m *Model) forwardBackward(data []float64) (gamma [][]float64, xiSum [][]float64, ll float64) {
+	T := len(data)
+	K := m.K
+	b := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		b[t] = make([]float64, K)
+		for i := 0; i < K; i++ {
+			b[t][i] = gaussian(data[t], m.Mean[i], m.Var[i]) + 1e-300
+		}
+	}
+	alpha := make([][]float64, T)
+	scale := make([]float64, T)
+	alpha[0] = make([]float64, K)
+	for i := 0; i < K; i++ {
+		alpha[0][i] = m.Pi[i] * b[0][i]
+		scale[0] += alpha[0][i]
+	}
+	if scale[0] == 0 {
+		scale[0] = 1e-300
+	}
+	for i := 0; i < K; i++ {
+		alpha[0][i] /= scale[0]
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, K)
+		for j := 0; j < K; j++ {
+			var s float64
+			for i := 0; i < K; i++ {
+				s += alpha[t-1][i] * m.A[i][j]
+			}
+			alpha[t][j] = s * b[t][j]
+			scale[t] += alpha[t][j]
+		}
+		if scale[t] == 0 {
+			scale[t] = 1e-300
+		}
+		for j := 0; j < K; j++ {
+			alpha[t][j] /= scale[t]
+		}
+	}
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, K)
+	for i := 0; i < K; i++ {
+		beta[T-1][i] = 1
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, K)
+		for i := 0; i < K; i++ {
+			var s float64
+			for j := 0; j < K; j++ {
+				s += m.A[i][j] * b[t+1][j] * beta[t+1][j]
+			}
+			beta[t][i] = s / scale[t+1]
+		}
+	}
+	gamma = make([][]float64, T)
+	for t := 0; t < T; t++ {
+		gamma[t] = make([]float64, K)
+		var norm float64
+		for i := 0; i < K; i++ {
+			gamma[t][i] = alpha[t][i] * beta[t][i]
+			norm += gamma[t][i]
+		}
+		if norm > 0 {
+			for i := 0; i < K; i++ {
+				gamma[t][i] /= norm
+			}
+		}
+	}
+	xiSum = make([][]float64, K)
+	for i := 0; i < K; i++ {
+		xiSum[i] = make([]float64, K)
+	}
+	for t := 0; t < T-1; t++ {
+		var norm float64
+		tmp := make([][]float64, K)
+		for i := 0; i < K; i++ {
+			tmp[i] = make([]float64, K)
+			for j := 0; j < K; j++ {
+				v := alpha[t][i] * m.A[i][j] * b[t+1][j] * beta[t+1][j]
+				tmp[i][j] = v
+				norm += v
+			}
+		}
+		if norm > 0 {
+			for i := 0; i < K; i++ {
+				for j := 0; j < K; j++ {
+					xiSum[i][j] += tmp[i][j] / norm
+				}
+			}
+		}
+	}
+	for t := 0; t < T; t++ {
+		ll += math.Log(scale[t])
+	}
+	return gamma, xiSum, ll
+}
+
+// Fit runs Baum-Welch until the log-likelihood improves by less than tol or
+// maxIter is reached.
+func (m *Model) Fit(data []float64, maxIter int, tol float64) error {
+	if len(data) < 2*m.K {
+		return fmt.Errorf("hmm: %d observations too few", len(data))
+	}
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	if tol <= 0 {
+		tol = 1e-4
+	}
+	prev := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		gamma, xiSum, ll := m.forwardBackward(data)
+		m.LogLikelihood = ll
+		m.Iterations = iter + 1
+		if ll-prev < tol && iter > 0 {
+			break
+		}
+		prev = ll
+		// M-step.
+		for i := 0; i < m.K; i++ {
+			m.Pi[i] = gamma[0][i]
+			var rowSum float64
+			for j := 0; j < m.K; j++ {
+				rowSum += xiSum[i][j]
+			}
+			if rowSum > 0 {
+				for j := 0; j < m.K; j++ {
+					m.A[i][j] = xiSum[i][j] / rowSum
+				}
+			}
+			var wSum, mean float64
+			for t := range data {
+				wSum += gamma[t][i]
+				mean += gamma[t][i] * data[t]
+			}
+			if wSum > 0 {
+				mean /= wSum
+				var variance float64
+				for t := range data {
+					d := data[t] - mean
+					variance += gamma[t][i] * d * d
+				}
+				m.Mean[i] = mean
+				m.Var[i] = variance/wSum + 1e-6
+			}
+		}
+	}
+	return nil
+}
+
+// Viterbi returns the most likely state sequence for the data.
+func (m *Model) Viterbi(data []float64) []int {
+	T := len(data)
+	if T == 0 {
+		return nil
+	}
+	K := m.K
+	logA := make([][]float64, K)
+	for i := 0; i < K; i++ {
+		logA[i] = make([]float64, K)
+		for j := 0; j < K; j++ {
+			logA[i][j] = math.Log(m.A[i][j] + 1e-300)
+		}
+	}
+	delta := make([][]float64, T)
+	psi := make([][]int, T)
+	delta[0] = make([]float64, K)
+	psi[0] = make([]int, K)
+	for i := 0; i < K; i++ {
+		delta[0][i] = math.Log(m.Pi[i]+1e-300) + math.Log(gaussian(data[0], m.Mean[i], m.Var[i])+1e-300)
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, K)
+		psi[t] = make([]int, K)
+		for j := 0; j < K; j++ {
+			best, arg := math.Inf(-1), 0
+			for i := 0; i < K; i++ {
+				if v := delta[t-1][i] + logA[i][j]; v > best {
+					best, arg = v, i
+				}
+			}
+			delta[t][j] = best + math.Log(gaussian(data[t], m.Mean[j], m.Var[j])+1e-300)
+			psi[t][j] = arg
+		}
+	}
+	states := make([]int, T)
+	best, arg := math.Inf(-1), 0
+	for i := 0; i < K; i++ {
+		if delta[T-1][i] > best {
+			best, arg = delta[T-1][i], i
+		}
+	}
+	states[T-1] = arg
+	for t := T - 2; t >= 0; t-- {
+		states[t] = psi[t+1][states[t+1]]
+	}
+	return states
+}
+
+// CongestedState returns the index of the lowest-mean state (the congested
+// regime for throughput data).
+func (m *Model) CongestedState() int {
+	best, arg := math.Inf(1), 0
+	for i, mu := range m.Mean {
+		if mu < best {
+			best, arg = mu, i
+		}
+	}
+	return arg
+}
+
+// DetectCongestion fits a 2-state model to an hourly throughput series and
+// returns a boolean congestion label per sample plus the fitted model.
+func DetectCongestion(mbps []float64) ([]bool, *Model, error) {
+	m, err := NewModel(2, mbps)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Fit(mbps, 50, 1e-4); err != nil {
+		return nil, nil, err
+	}
+	states := m.Viterbi(mbps)
+	congested := m.CongestedState()
+	out := make([]bool, len(states))
+	for i, s := range states {
+		out[i] = s == congested
+	}
+	return out, m, nil
+}
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lag (the diurnal signature shows as a peak at lag 24 for hourly data).
+func Autocorrelation(xs []float64, lag int) (float64, error) {
+	if lag < 0 || lag >= len(xs) {
+		return 0, fmt.Errorf("hmm: lag %d out of range for %d samples", lag, len(xs))
+	}
+	n := len(xs)
+	var mean float64
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	var denom float64
+	for _, x := range xs {
+		d := x - mean
+		denom += d * d
+	}
+	if denom == 0 {
+		return 0, nil
+	}
+	var num float64
+	for t := 0; t+lag < n; t++ {
+		num += (xs[t] - mean) * (xs[t+lag] - mean)
+	}
+	return num / denom, nil
+}
+
+// DiurnalScore is the autocorrelation at the daily lag for hourly data; a
+// high score marks a repeating time-of-day pattern.
+func DiurnalScore(hourly []float64) (float64, error) {
+	return Autocorrelation(hourly, 24)
+}

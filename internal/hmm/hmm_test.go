@@ -1,0 +1,207 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// twoRegimeSeries generates hourly data alternating between a high regime
+// (~400) and a low congested regime (~80) in 19-22h windows of some days.
+func twoRegimeSeries(days int, congestEvery int, rng *rand.Rand) ([]float64, []bool) {
+	var xs []float64
+	var truth []bool
+	for d := 0; d < days; d++ {
+		for h := 0; h < 24; h++ {
+			congested := congestEvery > 0 && d%congestEvery == 0 && h >= 19 && h <= 22
+			if congested {
+				xs = append(xs, 80+rng.NormFloat64()*10)
+			} else {
+				xs = append(xs, 400+rng.NormFloat64()*25)
+			}
+			truth = append(truth, congested)
+		}
+	}
+	return xs, truth
+}
+
+func TestNewModelValidation(t *testing.T) {
+	if _, err := NewModel(1, make([]float64, 100)); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewModel(2, []float64{1, 2}); err == nil {
+		t.Error("too little data accepted")
+	}
+}
+
+func TestFitRecoversRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs, _ := twoRegimeSeries(30, 2, rng)
+	m, err := NewModel(2, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(xs, 60, 1e-5); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.Mean[m.CongestedState()], m.Mean[1-m.CongestedState()]
+	if math.Abs(lo-80) > 30 {
+		t.Errorf("congested mean = %.1f, want ~80", lo)
+	}
+	if math.Abs(hi-400) > 40 {
+		t.Errorf("clear mean = %.1f, want ~400", hi)
+	}
+	if m.Iterations == 0 || math.IsInf(m.LogLikelihood, 0) {
+		t.Errorf("fit metadata: %+v", m)
+	}
+	// Transition matrix rows are stochastic.
+	for i := 0; i < 2; i++ {
+		sum := m.A[i][0] + m.A[i][1]
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestDetectCongestionAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs, truth := twoRegimeSeries(40, 2, rng)
+	labels, m, err := DetectCongestion(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != len(truth) {
+		t.Fatal("label length mismatch")
+	}
+	agree := 0
+	for i := range labels {
+		if labels[i] == truth[i] {
+			agree++
+		}
+	}
+	acc := float64(agree) / float64(len(truth))
+	if acc < 0.97 {
+		t.Errorf("HMM accuracy %.3f, want >= 0.97", acc)
+	}
+	// Persistence: self-transitions dominate.
+	for i := 0; i < 2; i++ {
+		if m.A[i][i] < 0.5 {
+			t.Errorf("state %d self-transition %.2f, want persistent", i, m.A[i][i])
+		}
+	}
+}
+
+func TestViterbiEmpty(t *testing.T) {
+	m, _ := NewModel(2, []float64{1, 2, 3, 4, 5, 6})
+	if m.Viterbi(nil) != nil {
+		t.Error("empty viterbi should be nil")
+	}
+}
+
+func TestFitConstantSeriesSafe(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 42
+	}
+	m, err := NewModel(2, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Fit(xs, 20, 1e-4); err != nil {
+		t.Fatal(err)
+	}
+	states := m.Viterbi(xs)
+	if len(states) != 100 {
+		t.Fatal("viterbi length")
+	}
+	// No NaNs anywhere.
+	for i := 0; i < 2; i++ {
+		if math.IsNaN(m.Mean[i]) || math.IsNaN(m.Var[i]) {
+			t.Errorf("NaN parameters: %+v", m)
+		}
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// A clean 24h sinusoid has ACF ~1 at lag 24, ~-1 at lag 12.
+	var xs []float64
+	for i := 0; i < 24*20; i++ {
+		xs = append(xs, math.Sin(2*math.Pi*float64(i)/24))
+	}
+	if v, err := Autocorrelation(xs, 24); err != nil || v < 0.9 {
+		t.Errorf("ACF(24) = %v (err %v), want ~1", v, err)
+	}
+	if v, _ := Autocorrelation(xs, 12); v > -0.8 {
+		t.Errorf("ACF(12) = %v, want ~-1", v)
+	}
+	if v, _ := Autocorrelation(xs, 0); math.Abs(v-1) > 1e-9 {
+		t.Errorf("ACF(0) = %v", v)
+	}
+	if _, err := Autocorrelation(xs, -1); err == nil {
+		t.Error("negative lag accepted")
+	}
+	if _, err := Autocorrelation(xs, len(xs)); err == nil {
+		t.Error("oversized lag accepted")
+	}
+	// White noise has low ACF at lag 24.
+	rng := rand.New(rand.NewSource(3))
+	var noise []float64
+	for i := 0; i < 24*20; i++ {
+		noise = append(noise, rng.NormFloat64())
+	}
+	if v, _ := Autocorrelation(noise, 24); math.Abs(v) > 0.15 {
+		t.Errorf("white noise ACF(24) = %v", v)
+	}
+	// Constant series: zero by convention.
+	flat := make([]float64, 100)
+	if v, _ := Autocorrelation(flat, 24); v != 0 {
+		t.Errorf("flat ACF = %v", v)
+	}
+}
+
+func TestDiurnalScoreSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	diurnal, _ := twoRegimeSeries(30, 1, rng) // dip every day
+	sDiurnal, err := DiurnalScore(diurnal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noise []float64
+	for i := 0; i < 24*30; i++ {
+		noise = append(noise, 400+rng.NormFloat64()*25)
+	}
+	sNoise, _ := DiurnalScore(noise)
+	if sDiurnal < sNoise+0.3 {
+		t.Errorf("diurnal score %.2f not separated from noise %.2f", sDiurnal, sNoise)
+	}
+}
+
+func TestHMMVsThresholdOnIntermittentCongestion(t *testing.T) {
+	// When congestion appears on only some days, the HMM still finds the
+	// low regime; accuracy should remain high.
+	rng := rand.New(rand.NewSource(11))
+	xs, truth := twoRegimeSeries(60, 5, rng)
+	labels, _, err := DetectCongestion(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, fp, fn := 0, 0, 0
+	for i := range labels {
+		switch {
+		case labels[i] && truth[i]:
+			tp++
+		case labels[i] && !truth[i]:
+			fp++
+		case !labels[i] && truth[i]:
+			fn++
+		}
+	}
+	if tp == 0 {
+		t.Fatal("no events recovered")
+	}
+	precision := float64(tp) / float64(tp+fp)
+	recall := float64(tp) / float64(tp+fn)
+	if precision < 0.9 || recall < 0.9 {
+		t.Errorf("precision %.2f recall %.2f", precision, recall)
+	}
+}

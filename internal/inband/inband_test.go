@@ -1,0 +1,184 @@
+package inband
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+func setup(t *testing.T) (*netsim.Sim, *Prober) {
+	t.Helper()
+	topo, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New(topo, nil, netsim.Config{Seed: 9})
+	return sim, NewProber(sim, 9)
+}
+
+var t0 = time.Date(2020, 5, 1, 8, 0, 0, 0, time.UTC)
+
+func spec(sim *netsim.Sim, idx int) netsim.TestSpec {
+	return netsim.TestSpec{
+		Region: "us-east1",
+		Server: sim.Topology().Servers()[idx],
+		Tier:   bgp.Premium,
+		Dir:    netsim.Download,
+		Time:   t0,
+	}
+}
+
+func TestEstimateMatchesGroundTruth(t *testing.T) {
+	sim, p := setup(t)
+	for idx := 0; idx < 25; idx++ {
+		sp := spec(sim, idx)
+		segs, err := sim.SegmentsFor(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := segs[0].AvailMbps
+		for _, s := range segs {
+			if s.AvailMbps < truth {
+				truth = s.AvailMbps
+			}
+		}
+		res, err := p.Estimate(sp, Train{Packets: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.AvailMbps-truth) / truth; rel > 0.15 {
+			t.Errorf("server %d: estimate %.1f vs truth %.1f (%.0f%% off)", idx, res.AvailMbps, truth, rel*100)
+		}
+	}
+}
+
+func TestBottleneckLocation(t *testing.T) {
+	sim, p := setup(t)
+	correct, total := 0, 0
+	for idx := 0; idx < 40; idx++ {
+		sp := spec(sim, idx)
+		segs, err := sim.SegmentsFor(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truthIdx, truthRate := 0, segs[0].AvailMbps
+		for i, s := range segs {
+			if s.AvailMbps < truthRate {
+				truthRate, truthIdx = s.AvailMbps, i
+			}
+		}
+		res, err := p.Estimate(sp, Train{Packets: 256})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if res.Bottleneck == truthIdx {
+			correct++
+		}
+		if res.Hops[res.Bottleneck].Name == "" {
+			t.Error("bottleneck hop unnamed")
+		}
+	}
+	if float64(correct) < float64(total)*0.8 {
+		t.Errorf("bottleneck located correctly only %d/%d times", correct, total)
+	}
+}
+
+func TestHopEstimatesNonIncreasing(t *testing.T) {
+	sim, p := setup(t)
+	res, err := p.Estimate(spec(sim, 3), Train{Packets: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Modulo measurement noise, prefix minima are non-increasing.
+	for i := 1; i < len(res.Hops); i++ {
+		if res.Hops[i].AvailMbps > res.Hops[i-1].AvailMbps*1.2 {
+			t.Errorf("hop %d estimate rose sharply: %.1f -> %.1f", i, res.Hops[i-1].AvailMbps, res.Hops[i].AvailMbps)
+		}
+	}
+}
+
+func TestLongerTrainsAreMoreAccurate(t *testing.T) {
+	sim, p := setup(t)
+	var errShort, errLong float64
+	n := 0
+	for idx := 0; idx < 30; idx++ {
+		sp := spec(sim, idx)
+		segs, err := sim.SegmentsFor(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := segs[0].AvailMbps
+		for _, s := range segs {
+			if s.AvailMbps < truth {
+				truth = s.AvailMbps
+			}
+		}
+		short, err := p.Estimate(sp, Train{Packets: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		long, err := p.Estimate(sp, Train{Packets: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		errShort += math.Abs(short.AvailMbps-truth) / truth
+		errLong += math.Abs(long.AvailMbps-truth) / truth
+		n++
+	}
+	if errLong >= errShort {
+		t.Errorf("1024-packet trains (err %.3f) not better than 8-packet (err %.3f)", errLong/float64(n), errShort/float64(n))
+	}
+}
+
+func TestCostRatioTiny(t *testing.T) {
+	sim, p := setup(t)
+	res, err := p.Estimate(spec(sim, 1), Train{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An in-band estimate must cost well under 1% of a 15s throughput
+	// test — the point of the §5 extension.
+	if ratio := res.CostRatio(15); ratio > 0.01 {
+		t.Errorf("probe cost ratio %.4f, want < 0.01", ratio)
+	}
+	if res.ProbeBytes <= 0 {
+		t.Error("probe bytes not accounted")
+	}
+}
+
+func TestTrainDefaults(t *testing.T) {
+	if b := (Train{}).Bytes(); b != 64*1448 {
+		t.Errorf("default train bytes = %d", b)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	sim, p := setup(t)
+	sp := spec(sim, 0)
+	sp.Server = nil
+	if _, err := p.Estimate(sp, Train{}); err == nil {
+		t.Error("nil server accepted")
+	}
+	sp = spec(sim, 0)
+	sp.Region = "atlantis"
+	if _, err := p.Estimate(sp, Train{}); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	sim, p := setup(t)
+	a, err := p.Estimate(spec(sim, 5), Train{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Estimate(spec(sim, 5), Train{})
+	if a.AvailMbps != b.AvailMbps || a.Bottleneck != b.Bottleneck {
+		t.Error("estimates not deterministic")
+	}
+}

@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"math"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// The diurnal load model. Access networks carry an evening traffic peak
+// (the FCC's 7-11 pm window); congestion-prone networks realise a deep
+// capacity dip on a fraction of days, centred near their profile's peak
+// hour with some day-to-day drift. Daytime-pattern networks (the Cox case
+// in §4.2) dip during working hours instead, over a wider window.
+
+// dayOf returns a stable integer day index for hashing.
+func dayOf(t time.Time) uint64 {
+	return uint64(t.Unix() / 86400)
+}
+
+// hourOfDayLocal converts t (UTC) to fractional local hour for a UTC offset.
+func hourOfDayLocal(t time.Time, utcOffset int) float64 {
+	h := float64(t.Hour()) + float64(t.Minute())/60 + float64(utcOffset)
+	for h < 0 {
+		h += 24
+	}
+	for h >= 24 {
+		h -= 24
+	}
+	return h
+}
+
+// circularDelta returns the shortest signed distance between two hours on
+// the 24h circle.
+func circularDelta(a, b float64) float64 {
+	d := a - b
+	for d > 12 {
+		d -= 24
+	}
+	for d < -12 {
+		d += 24
+	}
+	return d
+}
+
+// dipShape models the bell-shaped congestion window around the peak hour.
+func dipShape(localHour, peakHour, sigma float64) float64 {
+	d := circularDelta(localHour, peakHour)
+	return math.Exp(-d * d / (2 * sigma * sigma))
+}
+
+// congestionDip returns the fractional reduction in available bandwidth for
+// an entity (keyed by entityKey) with the given profile, at UTC time t in a
+// city with the given UTC offset. regionFactor scales the daily congestion
+// probability (regions differ, Fig. 2).
+func (s *Sim) congestionDip(profile topology.CongestionProfile, entityKey uint64, utcOffset int, t time.Time, regionFactor float64) float64 {
+	day := dayOf(t)
+	local := hourOfDayLocal(t, utcOffset)
+
+	// Does this entity realise a congestion event today?
+	dayProb := s.cfg.CongestionDayProbBase
+	if profile.Prone {
+		dayProb = s.cfg.CongestionDayProbProne
+	}
+	dayProb *= regionFactor
+	congestedToday := hash01(s.cfg.Seed, entityKey, day, 0xd1) < dayProb
+
+	// The realised peak drifts several hours day to day, so a server's
+	// hour-of-day congestion probability stays moderate (Fig. 6 shows
+	// probabilities mostly below 0.1-0.2 even for the worst servers).
+	peak := float64(profile.PeakHourLocal) + hashRange(s.cfg.Seed, -5, 5, entityKey, day, 0xd2)
+	sigma := s.cfg.EveningSigmaHours
+	if profile.Daytime {
+		sigma = s.cfg.DaytimeSigmaHours
+	}
+	shape := dipShape(local, peak, sigma)
+
+	depth := profile.PeakDepth * s.cfg.OffDayDepthFactor
+	if congestedToday {
+		depth = profile.PeakDepth * hashRange(s.cfg.Seed, 0.85, 1.1, entityKey, day, 0xd3)
+	}
+	dip := depth * shape
+	if dip < 0 {
+		dip = 0
+	}
+	if dip > 0.97 {
+		dip = 0.97
+	}
+	return dip
+}
+
+// congestionLoss returns the extra packet loss induced by a realised dip.
+// Loss grows superlinearly as the dip deepens (queues overflow).
+func congestionLoss(profile topology.CongestionProfile, dip float64) float64 {
+	if profile.PeakDepth <= 0 {
+		return 0
+	}
+	frac := dip / profile.PeakDepth // 0..~1.1 position within the event
+	if frac < 0.5 {
+		return 0
+	}
+	x := (frac - 0.5) / 0.5
+	return profile.LossAtPeak * x * x
+}

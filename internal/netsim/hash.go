@@ -1,0 +1,54 @@
+package netsim
+
+// Deterministic hash-based randomness. Every stochastic choice in the
+// simulator is a pure function of (seed, key...), so a campaign replayed
+// with the same seed produces identical measurements regardless of
+// execution order or concurrency.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hash64 is FNV-1a over the seed and keys.
+func hash64(seed int64, keys ...uint64) uint64 {
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	mix(uint64(seed))
+	for _, k := range keys {
+		mix(k)
+	}
+	// Final avalanche (splitmix64 finaliser) to decorrelate nearby keys.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hash01 maps (seed, keys) to a uniform float64 in [0, 1).
+func hash01(seed int64, keys ...uint64) float64 {
+	return float64(hash64(seed, keys...)>>11) / (1 << 53)
+}
+
+// hashRange maps (seed, keys) to a uniform float64 in [lo, hi).
+func hashRange(seed int64, lo, hi float64, keys ...uint64) float64 {
+	return lo + (hi-lo)*hash01(seed, keys...)
+}
+
+// hashNorm maps (seed, keys) to an approximately standard normal value
+// using an Irwin-Hall sum of four uniforms.
+func hashNorm(seed int64, keys ...uint64) float64 {
+	s := 0.0
+	for i := uint64(0); i < 4; i++ {
+		s += hash01(seed, append(keys, 0x9e3779b97f4a7c15+i)...)
+	}
+	// Sum of 4 U(0,1): mean 2, variance 4/12 -> scale to unit variance.
+	return (s - 2) / 0.5773502691896258
+}

@@ -1,0 +1,514 @@
+// Package netsim is the flow-level network simulator CLASP measures
+// against. It composes the synthetic topology and BGP tier policies into
+// end-to-end path properties — round-trip time, available bandwidth, and
+// loss — that vary over virtual time with the diurnal load model, and runs
+// modelled TCP speed tests over those paths.
+//
+// Everything is deterministic in the seed: a measurement at (server,
+// region, tier, direction, time) always yields the same result.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/geo"
+	"github.com/clasp-measurement/clasp/internal/tcpmodel"
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// ASN aliases the topology AS number type.
+type ASN = topology.ASN
+
+// Direction of a throughput test relative to the cloud VM.
+type Direction int
+
+// Test directions.
+const (
+	// Download transfers from the speed test server to the cloud VM
+	// (cloud ingress; the paper's primary congestion findings are here).
+	Download Direction = iota
+	// Upload transfers from the cloud VM to the speed test server
+	// (cloud egress, capped at the VM's 100 Mbps shaped uplink).
+	Upload
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	if d == Download {
+		return "download"
+	}
+	return "upload"
+}
+
+// Config tunes the simulator. Zero values are replaced by defaults in New.
+type Config struct {
+	Seed int64
+
+	// VM NIC shaping, mirroring the paper's tc setup (§3.2).
+	VMDownMbps float64 // default 1000
+	VMUpMbps   float64 // default 100
+
+	// BaseLoss is the residual loss rate of a clean path.
+	BaseLoss float64 // default 3e-7
+
+	// PremiumAvailFactor scales interconnect headroom on the premium
+	// tier (its egress ports carry more aggregated Google traffic).
+	PremiumAvailFactor float64 // default 0.77
+	// PremiumExtraLoss is the additional residual loss on premium-tier
+	// interconnects; §4.1 traces the standard tier's higher throughput to
+	// loss on the premium egress ports.
+	PremiumExtraLoss float64 // default 1.5e-7
+	// NoiseSigmaPremium / NoiseSigmaStandard are the lognormal sigma of
+	// per-test throughput noise; the standard tier (public Internet) is
+	// noisier (§4.1: "higher throughput but higher variance").
+	NoiseSigmaPremium  float64 // default 0.08
+	NoiseSigmaStandard float64 // default 0.17
+
+	// Congestion-event realisation probabilities per day.
+	CongestionDayProbProne float64 // default 0.26
+	CongestionDayProbBase  float64 // default 0.03
+	// OffDayDepthFactor scales the dip on non-event days.
+	OffDayDepthFactor float64 // default 0.3
+	// Dip widths in hours.
+	EveningSigmaHours float64 // default 2.2
+	DaytimeSigmaHours float64 // default 3.5
+
+	// QueueDelayMaxMs is the added queueing RTT at a fully realised dip.
+	QueueDelayMaxMs float64 // default 35
+
+	// RegionCongestionFactor scales event probability per region
+	// (us-west1 showed the least congestion, us-east4 the most; Fig. 2).
+	RegionCongestionFactor map[string]float64
+
+	// ParallelStreams is the number of concurrent TCP connections a
+	// speed test opens (default 6, matching web speed test clients).
+	ParallelStreams int
+
+	// PerASHopMs is the per-AS-hop processing/queueing RTT cost.
+	PerASHopMs float64 // default 0.8
+	// WANStretchFactor scales the great-circle public-Internet RTT for
+	// the leg carried on the cloud's private WAN.
+	// (Per-pair variation is drawn around it.)
+	WANStretchFactor float64 // default 0.82
+}
+
+// DefaultConfig returns the calibrated simulator configuration.
+func DefaultConfig(seed int64) Config {
+	return Config{
+		Seed:                   seed,
+		VMDownMbps:             1000,
+		VMUpMbps:               100,
+		BaseLoss:               3e-7,
+		PremiumAvailFactor:     0.77,
+		PremiumExtraLoss:       1.5e-7,
+		NoiseSigmaPremium:      0.08,
+		NoiseSigmaStandard:     0.17,
+		CongestionDayProbProne: 0.26,
+		CongestionDayProbBase:  0.03,
+		OffDayDepthFactor:      0.3,
+		EveningSigmaHours:      2.2,
+		DaytimeSigmaHours:      3.5,
+		QueueDelayMaxMs:        35,
+		RegionCongestionFactor: map[string]float64{
+			"us-west1":     0.65,
+			"us-west2":     0.9,
+			"us-west4":     1.35,
+			"us-east1":     1.0,
+			"us-east4":     1.45,
+			"us-central1":  1.15,
+			"europe-west1": 1.0,
+		},
+		ParallelStreams:  6,
+		PerASHopMs:       0.8,
+		WANStretchFactor: 0.82,
+	}
+}
+
+// Sim is the network simulator.
+type Sim struct {
+	topo   *topology.Topology
+	router *bgp.Router
+	cfg    Config
+}
+
+// New creates a simulator over the topology. A nil router is constructed
+// internally.
+func New(t *topology.Topology, r *bgp.Router, cfg Config) *Sim {
+	if r == nil {
+		r = bgp.NewRouter(t)
+	}
+	d := DefaultConfig(cfg.Seed)
+	if cfg.VMDownMbps == 0 {
+		cfg.VMDownMbps = d.VMDownMbps
+	}
+	if cfg.VMUpMbps == 0 {
+		cfg.VMUpMbps = d.VMUpMbps
+	}
+	if cfg.BaseLoss == 0 {
+		cfg.BaseLoss = d.BaseLoss
+	}
+	if cfg.PremiumAvailFactor == 0 {
+		cfg.PremiumAvailFactor = d.PremiumAvailFactor
+	}
+	if cfg.PremiumExtraLoss == 0 {
+		cfg.PremiumExtraLoss = d.PremiumExtraLoss
+	}
+	if cfg.NoiseSigmaPremium == 0 {
+		cfg.NoiseSigmaPremium = d.NoiseSigmaPremium
+	}
+	if cfg.NoiseSigmaStandard == 0 {
+		cfg.NoiseSigmaStandard = d.NoiseSigmaStandard
+	}
+	if cfg.CongestionDayProbProne == 0 {
+		cfg.CongestionDayProbProne = d.CongestionDayProbProne
+	}
+	if cfg.CongestionDayProbBase == 0 {
+		cfg.CongestionDayProbBase = d.CongestionDayProbBase
+	}
+	if cfg.OffDayDepthFactor == 0 {
+		cfg.OffDayDepthFactor = d.OffDayDepthFactor
+	}
+	if cfg.EveningSigmaHours == 0 {
+		cfg.EveningSigmaHours = d.EveningSigmaHours
+	}
+	if cfg.DaytimeSigmaHours == 0 {
+		cfg.DaytimeSigmaHours = d.DaytimeSigmaHours
+	}
+	if cfg.QueueDelayMaxMs == 0 {
+		cfg.QueueDelayMaxMs = d.QueueDelayMaxMs
+	}
+	if cfg.RegionCongestionFactor == nil {
+		cfg.RegionCongestionFactor = d.RegionCongestionFactor
+	}
+	if cfg.ParallelStreams == 0 {
+		cfg.ParallelStreams = d.ParallelStreams
+	}
+	if cfg.PerASHopMs == 0 {
+		cfg.PerASHopMs = d.PerASHopMs
+	}
+	if cfg.WANStretchFactor == 0 {
+		cfg.WANStretchFactor = d.WANStretchFactor
+	}
+	return &Sim{topo: t, router: r, cfg: cfg}
+}
+
+// Topology returns the simulated Internet.
+func (s *Sim) Topology() *topology.Topology { return s.topo }
+
+// Router returns the BGP router.
+func (s *Sim) Router() *bgp.Router { return s.router }
+
+// TestSpec describes one speed test run from a region against a server.
+type TestSpec struct {
+	Region      string
+	Server      *topology.Server
+	Tier        bgp.Tier
+	Dir         Direction
+	Time        time.Time // virtual UTC timestamp
+	DurationSec float64   // default 15
+	// VMDownMbps / VMUpMbps override the configured NIC shaping when > 0.
+	VMDownMbps float64
+	VMUpMbps   float64
+}
+
+// TestResult is the outcome the speed test UI would report, plus the
+// ground-truth path attributes the analysis pipeline later re-estimates
+// from packet captures.
+type TestResult struct {
+	ThroughputMbps float64
+	RTTms          float64
+	LossRate       float64
+	Link           *topology.Interconnect // interconnect crossed
+	ASPath         []ASN
+	Dir            Direction
+	Tier           bgp.Tier
+}
+
+// Measure runs one modelled speed test.
+func (s *Sim) Measure(spec TestSpec) (TestResult, error) {
+	if spec.Server == nil {
+		return TestResult{}, fmt.Errorf("netsim: nil server")
+	}
+	if spec.DurationSec <= 0 {
+		spec.DurationSec = 15
+	}
+	var choice bgp.EgressChoice
+	var err error
+	if spec.Dir == Download {
+		choice, err = s.router.IngressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
+	} else {
+		choice, err = s.router.EgressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
+	}
+	if err != nil {
+		return TestResult{}, err
+	}
+
+	rtt := s.pathRTT(spec.Region, spec.Server.ASN, spec.Server.City, choice, spec.Tier, spec.Time, uint64(spec.Server.ID))
+	avail, loss := s.pathBandwidth(spec, choice, spec.Time)
+
+	tput := tcpmodel.Throughput(tcpmodel.FlowParams{
+		RTTms:          rtt,
+		Loss:           loss,
+		BottleneckMbps: avail,
+		DurationSec:    spec.DurationSec,
+		Streams:        s.cfg.ParallelStreams,
+	})
+	// Per-test multiplicative measurement noise.
+	sigma := s.cfg.NoiseSigmaPremium
+	if spec.Tier == bgp.Standard {
+		sigma = s.cfg.NoiseSigmaStandard
+	}
+	n := hashNorm(s.cfg.Seed, uint64(spec.Server.ID), dayOf(spec.Time), uint64(spec.Time.Hour()), uint64(spec.Dir), uint64(spec.Tier), 0xa1)
+	tput *= clamp(1+sigma*n, 0.4, 1.6)
+
+	return TestResult{
+		ThroughputMbps: tput,
+		RTTms:          rtt,
+		LossRate:       loss,
+		Link:           choice.Link,
+		ASPath:         choice.Path,
+		Dir:            spec.Dir,
+		Tier:           spec.Tier,
+	}, nil
+}
+
+// Segment is one capacity-relevant element of a simulated path, ordered
+// from the traffic source toward the cloud VM (download) or the server
+// (upload). The in-band measurement extension probes these per hop.
+type Segment struct {
+	Name      string
+	LinkID    int // interconnect ID, or -1
+	AvailMbps float64
+	Loss      float64 // loss contributed by this segment
+}
+
+// PathSegments decomposes the path of a test into its capacity segments at
+// the given time. The first segment is nearest the remote endpoint.
+func (s *Sim) PathSegments(spec TestSpec, choice bgp.EgressChoice, t time.Time) []Segment {
+	srv := spec.Server
+	link := choice.Link
+	regionFactor := s.cfg.RegionCongestionFactor[spec.Region]
+	if regionFactor == 0 {
+		regionFactor = 1
+	}
+	vmDown, vmUp := spec.VMDownMbps, spec.VMUpMbps
+	if vmDown <= 0 {
+		vmDown = s.cfg.VMDownMbps
+	}
+	if vmUp <= 0 {
+		vmUp = s.cfg.VMUpMbps
+	}
+
+	srvAS := s.topo.AS(srv.ASN)
+	srvCity, _ := s.topo.CityOf(srv.City)
+	linkCity, _ := s.topo.CityOf(link.City)
+	nbAS := s.topo.AS(link.Neighbor)
+
+	baseLoss := s.cfg.BaseLoss
+	if spec.Tier == bgp.Premium {
+		baseLoss += s.cfg.PremiumExtraLoss
+	}
+
+	headroom := link.Headroom
+	if spec.Tier == bgp.Premium {
+		headroom *= s.cfg.PremiumAvailFactor
+	}
+
+	var segs []Segment
+	if spec.Dir == Download {
+		// Server access link.
+		segs = append(segs, Segment{Name: "server-access", LinkID: -1, AvailMbps: srv.AccessMbps})
+
+		// ISP access-aggregation: the per-server congestion signal
+		// (keyed by server so distinct servers of one ISP behave like
+		// the paper's distinct pairs), at the server's local time.
+		ispDip := s.congestionDip(srvAS.Congestion, serverKey(srv.ID), srvCity.UTCOffset, t, regionFactor)
+		agg := hashRange(s.cfg.Seed, 500, 1400, serverKey(srv.ID), 0xb2) * (1 - ispDip)
+		segs = append(segs, Segment{
+			Name: "isp-aggregation", LinkID: -1, AvailMbps: agg,
+			Loss: congestionLoss(srvAS.Congestion, ispDip),
+		})
+
+		// Interdomain link into the cloud, modulated by the neighbor's
+		// profile at the facility's local time. The congestion dips live
+		// on the upstream (edge -> core) direction: the paper's download
+		// tests crossed them while uploads stayed near the cap. Ports are
+		// provisioned with more slack than access aggregation, so the dip
+		// is capped and couples weakly into loss; the server-specific
+		// ISP-aggregation dip above is the dominant congestion signal.
+		linkDip := s.congestionDip(nbAS.Congestion, linkKey(link.ID), linkCity.UTCOffset, t, regionFactor)
+		if linkDip > 0.8 {
+			linkDip = 0.8
+		}
+		linkLoss := baseLoss + congestionLoss(nbAS.Congestion, linkDip)*0.25
+		// Chronically lossy interconnects: the §4.1 pathology lives on
+		// the private-interconnect ports the premium tier rides; the
+		// standard tier's transit ingress does not cross them.
+		if link.Lossy && spec.Tier == bgp.Premium {
+			linkLoss += link.LossRate * hashRange(s.cfg.Seed, 0.8, 1.2, linkKey(link.ID), dayOf(t), 0xb3)
+		}
+		segs = append(segs, Segment{
+			Name: "interconnect", LinkID: link.ID,
+			AvailMbps: headroom * (1 - linkDip), Loss: linkLoss,
+		})
+
+		// VM NIC shaping (tc).
+		segs = append(segs, Segment{Name: "vm-nic", LinkID: -1, AvailMbps: vmDown})
+	} else {
+		segs = append(segs, Segment{Name: "vm-nic", LinkID: -1, AvailMbps: vmUp})
+		// Mild downstream (cloud -> edge) evening load.
+		linkDip := s.congestionDip(nbAS.Congestion, linkKey(link.ID)^0x5555, linkCity.UTCOffset, t, regionFactor*0.3)
+		segs = append(segs, Segment{
+			Name: "interconnect", LinkID: link.ID,
+			AvailMbps: headroom * (1 - 0.3*linkDip), Loss: baseLoss,
+		})
+		segs = append(segs, Segment{Name: "server-access", LinkID: -1, AvailMbps: srv.AccessMbps})
+	}
+	return segs
+}
+
+// pathBandwidth computes the bandwidth available to the test flow and the
+// path loss rate at the given time.
+func (s *Sim) pathBandwidth(spec TestSpec, choice bgp.EgressChoice, t time.Time) (availMbps, loss float64) {
+	segs := s.PathSegments(spec, choice, t)
+	availMbps = segs[0].AvailMbps
+	for _, seg := range segs {
+		if seg.AvailMbps < availMbps {
+			availMbps = seg.AvailMbps
+		}
+		loss += seg.Loss
+	}
+	// Upload paths carry at least the clean-path base loss.
+	if loss == 0 {
+		loss = s.cfg.BaseLoss
+	}
+	if loss > 0.9 {
+		loss = 0.9
+	}
+	if availMbps < 0.1 {
+		availMbps = 0.1
+	}
+	return availMbps, loss
+}
+
+// SegmentsFor resolves the routing for a test and returns its segments;
+// a convenience for the in-band measurement tools.
+func (s *Sim) SegmentsFor(spec TestSpec) ([]Segment, error) {
+	if spec.Server == nil {
+		return nil, fmt.Errorf("netsim: nil server")
+	}
+	var choice bgp.EgressChoice
+	var err error
+	if spec.Dir == Download {
+		choice, err = s.router.IngressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
+	} else {
+		choice, err = s.router.EgressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.PathSegments(spec, choice, spec.Time), nil
+}
+
+// pathRTT models the round-trip time between a region VM and an endpoint
+// (asn, city) through the chosen interconnect under a tier policy.
+func (s *Sim) pathRTT(region string, endASN ASN, endCity string, choice bgp.EgressChoice, tier bgp.Tier, t time.Time, flowKey uint64) float64 {
+	reg, _ := s.topo.Region(region)
+	regCoord, _ := s.topo.CityCoord(reg.City)
+	endCoord, ok := s.topo.CityCoord(endCity)
+	if !ok {
+		endCoord = regCoord
+	}
+	linkCoord, ok := s.topo.CityCoord(choice.Link.City)
+	if !ok {
+		linkCoord = regCoord
+	}
+
+	// Edge leg: endpoint to the interconnect facility over the public
+	// Internet, plus fixed access delay.
+	rtt := 2.0 + geo.RTTMs(endCoord, linkCoord)
+	// Cloud leg: facility to the region over the private WAN. Per
+	// (AS, region) pairs differ in WAN efficiency; some pairs carry a
+	// cold-potato routing penalty that makes the premium tier slower
+	// (the "standard lower latency" class in Fig. 5c).
+	wanLeg := geo.RTTMs(linkCoord, regCoord)
+	if tier == bgp.Premium {
+		wf, penalty := s.wanProfile(endASN, region)
+		rtt += wanLeg*wf + penalty
+	} else {
+		rtt += wanLeg
+	}
+	// Per-AS-hop processing.
+	rtt += float64(len(choice.Path)) * s.cfg.PerASHopMs
+	// Queueing delay under congestion at the endpoint's local time.
+	endCityRec, ok := s.topo.CityOf(endCity)
+	if ok {
+		srvAS := s.topo.AS(endASN)
+		if srvAS != nil {
+			regionFactor := s.cfg.RegionCongestionFactor[region]
+			if regionFactor == 0 {
+				regionFactor = 1
+			}
+			dip := s.congestionDip(srvAS.Congestion, flowKey, endCityRec.UTCOffset, t, regionFactor)
+			rtt += dip * s.cfg.QueueDelayMaxMs
+		}
+	}
+	// Small jitter.
+	rtt *= clamp(1+0.03*hashNorm(s.cfg.Seed, flowKey, dayOf(t), uint64(t.Hour()), 0xc1), 0.9, 1.15)
+	return rtt
+}
+
+// wanProfile returns the premium-tier WAN stretch factor (relative to the
+// public-Internet stretch) and additive penalty for an (AS, region) pair.
+func (s *Sim) wanProfile(asn ASN, region string) (factor, penaltyMs float64) {
+	key := []uint64{uint64(asn), regionKey(region), 0xe1}
+	r := hash01(s.cfg.Seed, key...)
+	switch {
+	case r < 0.25:
+		// Private WAN clearly faster (premium lower latency class).
+		return hashRange(s.cfg.Seed, 0.55, 0.72, key...), 0
+	case r < 0.60:
+		// Comparable (within a few ms on typical distances).
+		return hashRange(s.cfg.Seed, 0.93, 1.0, key...), 0
+	case r < 0.85:
+		// Mildly faster.
+		return s.cfg.WANStretchFactor, 0
+	default:
+		// Cold-potato detour: premium slower by tens of ms.
+		return 1.0, hashRange(s.cfg.Seed, 40, 90, key...)
+	}
+}
+
+// PingRTT returns an unloaded-latency measurement (as a traceroute or
+// Speedchecker probe would see) between a region and an endpoint AS/city
+// over the given tier. flowSalt decorrelates repeated probes.
+func (s *Sim) PingRTT(region string, endASN ASN, endCity string, tier bgp.Tier, t time.Time, flowSalt uint64) (float64, error) {
+	choice, err := s.router.IngressLink(region, endASN, endCity, tier)
+	if err != nil {
+		return 0, err
+	}
+	return s.pathRTT(region, endASN, endCity, choice, tier, t, flowSalt), nil
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func serverKey(id int) uint64 { return 0x530000000000 + uint64(id) }
+func linkKey(id int) uint64   { return 0x110000000000 + uint64(id) }
+func regionKey(r string) uint64 {
+	h := uint64(fnvOffset)
+	for i := 0; i < len(r); i++ {
+		h ^= uint64(r[i])
+		h *= fnvPrime
+	}
+	return h
+}

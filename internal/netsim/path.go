@@ -1,0 +1,124 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/geo"
+)
+
+// Hop is one router interface on a forward path, as a traceroute probe
+// would reveal it.
+type Hop struct {
+	IP    netip.Addr
+	ASN   ASN // ground-truth owner (the prober must infer this)
+	RTTms float64
+	// LinkID is the interconnect this hop's interface belongs to, or -1.
+	// The far-side hop of the interdomain link carries the link ID.
+	LinkID int
+}
+
+// ForwardPath constructs the hop-level forward path from a region VM to a
+// destination address, as revealed by TTL-limited probing. dst selects the
+// routing: engineered probe targets pin their interconnect; other addresses
+// follow the tier policy toward (asn, city).
+//
+// flowID provides paris-traceroute semantics: hops are stable for a fixed
+// flowID; classic traceroute (varying flow IDs) can oscillate between
+// intra-AS parallel paths.
+func (s *Sim) ForwardPath(region string, dstIP netip.Addr, dstASN ASN, dstCity string, linkID int, tier bgp.Tier, flowID uint64) ([]Hop, error) {
+	var choice bgp.EgressChoice
+	var err error
+	if linkID >= 0 {
+		choice, err = s.router.EgressForProbe(region, &bgp.ProbeDest{ASN: dstASN, City: dstCity, LinkID: linkID})
+	} else {
+		choice, err = s.router.EgressLink(region, dstASN, dstCity, tier)
+	}
+	if err != nil {
+		return nil, err
+	}
+	reg, ok := s.topo.Region(region)
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown region %q", region)
+	}
+	regCoord, _ := s.topo.CityCoord(reg.City)
+	linkCoord, ok := s.topo.CityCoord(choice.Link.City)
+	if !ok {
+		linkCoord = regCoord
+	}
+	dstCoord, ok := s.topo.CityCoord(dstCity)
+	if !ok {
+		dstCoord = linkCoord
+	}
+
+	var hops []Hop
+	cloud := s.topo.Cloud.ASN
+	add := func(ip netip.Addr, asn ASN, rtt float64, link int) {
+		hops = append(hops, Hop{IP: ip, ASN: asn, RTTms: rtt, LinkID: link})
+	}
+
+	// Intra-cloud hops: first-hop gateway and a backbone router. The
+	// backbone router is chosen per flow ID among parallel LAG members,
+	// which is what paris-traceroute keeps stable.
+	gw := cloudRouterIP(1, uint64(regionKey(region))%250)
+	add(gw, cloud, 0.3, -1)
+	lag := flowID % 4
+	bb := cloudRouterIP(2, uint64(regionKey(region))%60*4+lag)
+	wanMs := geo.RTTMs(regCoord, linkCoord) * 0.82
+	add(bb, cloud, 0.6+wanMs*0.5, -1)
+
+	// The cloud border router answers with its inbound (WAN-facing)
+	// interface; the /30 interconnect interface on the near side never
+	// appears in a forward traceroute.
+	add(cloudRouterIP(3, uint64(choice.Link.ID)), cloud, 1.0+wanMs, -1)
+	// Far side: the neighbor's border router replies with the
+	// interconnect interface. This is what bdrmap must identify.
+	add(choice.Link.FarIP, choice.Link.Neighbor, 1.3+wanMs, choice.Link.ID)
+
+	// Intra-neighbor and onward AS hops toward the destination.
+	path := choice.Path
+	// path[0] = cloud, path[1] = neighbor, ..., path[len-1] = dst AS.
+	remaining := geo.RTTMs(linkCoord, dstCoord)
+	cum := 1.6 + wanMs
+	nHops := len(path) - 1
+	if nHops == 0 {
+		nHops = 1
+	}
+	step := remaining / float64(nHops+1)
+	for i := 1; i < len(path); i++ {
+		asn := path[i]
+		a := s.topo.AS(asn)
+		if a == nil {
+			continue
+		}
+		cum += step
+		if i > 1 || len(path) == 2 {
+			// A core router inside this AS. Addresses come from the
+			// .0.130-249 band, which never collides with border-router
+			// loopbacks (.0.1+), servers (.16+) or link subnets (.254+).
+			rid := (uint64(asn) + flowID%2) % 120
+			add(loopbackIP(a.Prefix, 0, byte(130+rid)), asn, cum, -1)
+		}
+	}
+	// Destination itself.
+	cum += step
+	add(dstIP, dstASN, cum, -1)
+	return hops, nil
+}
+
+// VMAddr returns the address of a measurement VM instance in a region zone.
+// VM addresses stay inside the cloud's announced 15.0.0.0/10.
+func (s *Sim) VMAddr(region string, zoneIdx, vmIdx int) netip.Addr {
+	rk := regionKey(region) % 40
+	return netip.AddrFrom4([4]byte{15, byte(10 + rk), byte(zoneIdx), byte(10 + vmIdx)})
+}
+
+func cloudRouterIP(tier byte, n uint64) netip.Addr {
+	return netip.AddrFrom4([4]byte{15, tier, byte(n / 250), byte(n%250 + 1)})
+}
+
+func loopbackIP(prefix netip.Prefix, third, fourth byte) netip.Addr {
+	b := prefix.Addr().As4()
+	return netip.AddrFrom4([4]byte{b[0], b[1], third, fourth})
+}

@@ -1,0 +1,358 @@
+// Package orchestrator runs CLASP's measurement campaigns (§3.2): it plans
+// how many measurement VMs a region needs for one test per server per hour
+// (each VM runs one test at a time, at most 17 per hour), deploys them
+// across availability zones, executes hourly rounds in randomised order,
+// captures packet headers and SoMeta metadata, runs follow-up traceroutes,
+// uploads results to the region's storage bucket, and indexes them into the
+// time-series store.
+package orchestrator
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/cloud"
+	"github.com/clasp-measurement/clasp/internal/flowstats"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/someta"
+	"github.com/clasp-measurement/clasp/internal/topology"
+	"github.com/clasp-measurement/clasp/internal/traceroute"
+	"github.com/clasp-measurement/clasp/internal/tsdb"
+)
+
+// TestsPerVMPerHour is the paper's per-VM budget: each throughput test
+// takes up to 120 s, plus 20 min of traceroutes and 5 min of uploads per
+// hour, leaving at most 17 tests.
+const TestsPerVMPerHour = 17
+
+// PlanVMs returns the number of measurement VMs needed to test n servers
+// hourly.
+func PlanVMs(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + TestsPerVMPerHour - 1) / TestsPerVMPerHour
+}
+
+// Sink consumes measurement records as the campaign produces them, so
+// full-scale runs need not hold every record in memory.
+type Sink interface {
+	Record(analysis.Measurement)
+}
+
+// SliceSink collects records into a slice.
+type SliceSink struct {
+	Out []analysis.Measurement
+}
+
+// Record implements Sink.
+func (s *SliceSink) Record(m analysis.Measurement) { s.Out = append(s.Out, m) }
+
+// StoreSink indexes records into a time-series store.
+type StoreSink struct {
+	Store *tsdb.Store
+}
+
+// Record implements Sink.
+func (s *StoreSink) Record(m analysis.Measurement) {
+	// Insert errors are impossible for the generated tag values.
+	_ = s.Store.Insert("speedtest", tsdb.Tags{
+		"server": fmt.Sprintf("%d", m.ServerID),
+		"region": m.Region,
+		"tier":   m.Tier.String(),
+		"dir":    m.Dir.String(),
+	}, m.Time, map[string]float64{
+		"mbps":   m.Mbps,
+		"rtt_ms": m.RTTms,
+		"loss":   m.Loss,
+	})
+}
+
+// MultiSink fans records out to several sinks.
+type MultiSink []Sink
+
+// Record implements Sink.
+func (ms MultiSink) Record(m analysis.Measurement) {
+	for _, s := range ms {
+		s.Record(m)
+	}
+}
+
+// Config describes one campaign in one region.
+type Config struct {
+	Region  string
+	Servers []*topology.Server
+	// Tiers to measure each server over. Topology-based campaigns use
+	// {Premium}; differential campaigns use {Premium, Standard} with a
+	// dedicated VM pair per tier.
+	Tiers []bgp.Tier
+	// Start and Days bound the campaign in virtual time.
+	Start time.Time
+	Days  int
+	// TestDurationSec is the per-test transfer duration (default 15).
+	TestDurationSec float64
+	// DownlinkMbps/UplinkMbps are the tc caps (defaults 1000/100, §3.2).
+	DownlinkMbps float64
+	UplinkMbps   float64
+	// Seed drives the per-hour randomised test order.
+	Seed int64
+	// CaptureEvery synthesises and uploads a packet capture plus SoMeta
+	// records for every Nth test (0 disables capture; captures are the
+	// heaviest artifact).
+	CaptureEvery int
+	// TracerouteEvery runs a follow-up paris traceroute per server every
+	// N days (0 disables; the paper ran them after each test).
+	TracerouteEvery int
+	// FixedOrder disables the per-hour test-order randomisation; only the
+	// D5 ablation uses this (the paper randomises to decorrelate from
+	// periodic system events).
+	FixedOrder bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TestDurationSec <= 0 {
+		c.TestDurationSec = 15
+	}
+	if c.DownlinkMbps <= 0 {
+		c.DownlinkMbps = 1000
+	}
+	if c.UplinkMbps <= 0 {
+		c.UplinkMbps = 100
+	}
+	if len(c.Tiers) == 0 {
+		c.Tiers = []bgp.Tier{bgp.Premium}
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	return c
+}
+
+// Orchestrator wires the simulator, the cloud control plane and the data
+// pipeline together.
+type Orchestrator struct {
+	sim      *netsim.Sim
+	platform *cloud.Platform
+	bucket   *cloud.Bucket
+}
+
+// New creates an orchestrator. bucket may be nil to skip artifact uploads.
+func New(sim *netsim.Sim, platform *cloud.Platform, bucket *cloud.Bucket) *Orchestrator {
+	return &Orchestrator{sim: sim, platform: platform, bucket: bucket}
+}
+
+// Report summarises a finished campaign.
+type Report struct {
+	Region       string
+	VMs          int
+	Tests        int
+	Hours        int
+	Traceroutes  int
+	Captures     int
+	MaxVMCPUUtil float64
+}
+
+// Run executes the campaign, streaming measurements into sink.
+func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Servers) == 0 {
+		return nil, fmt.Errorf("orchestrator: no servers to measure")
+	}
+	if sink == nil {
+		sink = &SliceSink{}
+	}
+	topo := o.sim.Topology()
+	if _, ok := topo.Region(cfg.Region); !ok {
+		return nil, fmt.Errorf("orchestrator: unknown region %q", cfg.Region)
+	}
+
+	// Deploy measurement VMs: enough for one test per server per hour,
+	// per tier, spread across zones.
+	perTierVMs := PlanVMs(len(cfg.Servers))
+	totalVMs := perTierVMs * len(cfg.Tiers)
+	var vms []*cloud.VM
+	for ti, tier := range cfg.Tiers {
+		for i := 0; i < perTierVMs; i++ {
+			vm, err := o.platform.CreateVM(cloud.VMSpec{
+				Name:         fmt.Sprintf("clasp-%s-%s-%d", cfg.Region, tier, i),
+				Region:       cfg.Region,
+				Type:         cloud.N1Standard2,
+				Tier:         tier,
+				DownlinkMbps: cfg.DownlinkMbps,
+				UplinkMbps:   cfg.UplinkMbps,
+				Labels:       map[string]string{"role": "measurement", "tier": tier.String()},
+			}, cfg.Start)
+			if err != nil {
+				return nil, fmt.Errorf("orchestrator: deploying VM %d/%s: %w", i, tier, err)
+			}
+			vms = append(vms, vm)
+			_ = ti
+		}
+	}
+	defer func() {
+		end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
+		for _, vm := range vms {
+			_ = o.platform.DeleteVM(vm.Name, end)
+		}
+	}()
+
+	collector := someta.NewCollector(fmt.Sprintf("clasp-%s", cfg.Region), nil)
+	prober := traceroute.NewProber(o.sim, cfg.Region, cfg.Seed)
+
+	rep := &Report{Region: cfg.Region, VMs: totalVMs}
+	totalHours := cfg.Days * 24
+	slotGap := time.Hour / time.Duration(TestsPerVMPerHour+1)
+	downloads := 0
+
+	for hour := 0; hour < totalHours; hour++ {
+		hourStart := cfg.Start.Add(time.Duration(hour) * time.Hour)
+		rep.Hours++
+		// Randomise the test order each hour to decorrelate from periodic
+		// system events (§3.2).
+		var order []int
+		if cfg.FixedOrder {
+			order = make([]int, len(cfg.Servers))
+			for i := range order {
+				order[i] = i
+			}
+		} else {
+			order = rand.New(rand.NewSource(cfg.Seed ^ int64(hour)*0x9e37)).Perm(len(cfg.Servers))
+		}
+
+		for _, tier := range cfg.Tiers {
+			for slot, idx := range order {
+				srv := cfg.Servers[idx]
+				at := hourStart.Add(time.Duration(slot%TestsPerVMPerHour) * slotGap)
+				for _, dir := range []netsim.Direction{netsim.Download, netsim.Upload} {
+					res, err := o.sim.Measure(netsim.TestSpec{
+						Region:      cfg.Region,
+						Server:      srv,
+						Tier:        tier,
+						Dir:         dir,
+						Time:        at,
+						DurationSec: cfg.TestDurationSec,
+						VMDownMbps:  cfg.DownlinkMbps,
+						VMUpMbps:    cfg.UplinkMbps,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("orchestrator: test %d/%s/%s: %w", srv.ID, tier, dir, err)
+					}
+					sink.Record(analysis.Measurement{
+						ServerID: srv.ID,
+						Region:   cfg.Region,
+						Tier:     tier,
+						Dir:      dir,
+						Time:     at,
+						Mbps:     res.ThroughputMbps,
+						RTTms:    res.RTTms,
+						Loss:     res.LossRate,
+					})
+					rep.Tests++
+					// Egress accounting: uploads push the full transfer
+					// out of the cloud; downloads only return ACKs (~2%).
+					bytes := int64(res.ThroughputMbps * 1e6 / 8 * cfg.TestDurationSec)
+					if dir == netsim.Upload {
+						o.platform.RecordEgress(tier, bytes)
+					} else {
+						o.platform.RecordEgress(tier, bytes/50)
+					}
+
+					if dir == netsim.Download {
+						downloads++
+						if cfg.CaptureEvery > 0 && downloads%cfg.CaptureEvery == 0 {
+							if err := o.captureTest(cfg, srv, tier, at, res, collector); err != nil {
+								return nil, err
+							}
+							rep.Captures++
+						}
+					}
+				}
+			}
+		}
+
+		// Daily follow-up traceroutes.
+		if cfg.TracerouteEvery > 0 && hour%(24*cfg.TracerouteEvery) == 0 {
+			for _, srv := range cfg.Servers {
+				tr, err := prober.Trace(traceroute.Destination{
+					IP: srv.IP, ASN: srv.ASN, City: srv.City, LinkID: -1, Tier: cfg.Tiers[0],
+				}, traceroute.Options{Mode: traceroute.Paris, FlowID: uint64(srv.ID)})
+				if err != nil {
+					return nil, fmt.Errorf("orchestrator: traceroute to %d: %w", srv.ID, err)
+				}
+				rep.Traceroutes++
+				if o.bucket != nil {
+					var buf bytes.Buffer
+					if err := traceroute.WriteJSON(&buf, []traceroute.Result{tr}); err != nil {
+						return nil, err
+					}
+					key := fmt.Sprintf("%s/traceroute/%s/server-%d.json", cfg.Region, hourStart.Format("2006-01-02"), srv.ID)
+					if err := o.bucket.Put(key, buf.Bytes(), hourStart); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	o.platform.AccrueVMHours(totalVMs, time.Duration(totalHours)*time.Hour, cloud.N1Standard2)
+	rep.MaxVMCPUUtil = collector.MaxCPU()
+	return rep, nil
+}
+
+// captureTest synthesises a tcpdump-style header capture consistent with
+// the measured flow, snapshots SoMeta metadata, compresses both, and
+// uploads them to the results bucket.
+func (o *Orchestrator) captureTest(cfg Config, srv *topology.Server, tier bgp.Tier, at time.Time, res netsim.TestResult, collector *someta.Collector) error {
+	collector.Snap(at)
+	if o.bucket == nil {
+		return nil
+	}
+	var raw bytes.Buffer
+	err := flowstats.Synthesize(&raw, flowstats.SynthConfig{
+		Client:      o.sim.VMAddr(cfg.Region, 0, 0),
+		Server:      srv.IP,
+		ClientPort:  uint16(40000 + srv.ID%20000),
+		Start:       at,
+		RTTms:       res.RTTms,
+		Loss:        res.LossRate,
+		RateMbps:    res.ThroughputMbps,
+		DurationSec: minF(cfg.TestDurationSec, 5), // header capture of the first seconds
+		Seed:        cfg.Seed ^ int64(srv.ID),
+	})
+	if err != nil {
+		return fmt.Errorf("orchestrator: synthesising capture: %w", err)
+	}
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw.Bytes()); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	key := fmt.Sprintf("%s/pcap/%s/server-%d-%s.pcap.gz", cfg.Region, at.Format("2006-01-02"), srv.ID, tier)
+	if err := o.bucket.Put(key, gz.Bytes(), at); err != nil {
+		return err
+	}
+
+	var meta bytes.Buffer
+	if err := someta.WriteJSON(&meta, collector.Snapshots()[len(collector.Snapshots())-1:]); err != nil {
+		return err
+	}
+	metaKey := fmt.Sprintf("%s/someta/%s/server-%d-%s.json", cfg.Region, at.Format("2006-01-02"), srv.ID, tier)
+	return o.bucket.Put(metaKey, meta.Bytes(), at)
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

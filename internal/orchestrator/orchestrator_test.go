@@ -1,0 +1,333 @@
+package orchestrator
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/cloud"
+	"github.com/clasp-measurement/clasp/internal/flowstats"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/topology"
+	"github.com/clasp-measurement/clasp/internal/tsdb"
+)
+
+type fixture struct {
+	topo     *topology.Topology
+	sim      *netsim.Sim
+	platform *cloud.Platform
+	bucket   *cloud.Bucket
+	orch     *Orchestrator
+}
+
+func setup(t *testing.T) *fixture {
+	t.Helper()
+	topo, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := netsim.New(topo, nil, netsim.Config{Seed: 31})
+	platform := cloud.New(topo, sim, cloud.Pricing{})
+	bucket, err := platform.CreateBucket("clasp-results", "us-east1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{topo: topo, sim: sim, platform: platform, bucket: bucket,
+		orch: New(sim, platform, bucket)}
+}
+
+func TestPlanVMs(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {17, 1}, {18, 2}, {100, 6}, {184, 11},
+	}
+	for _, c := range cases {
+		if got := PlanVMs(c.n); got != c.want {
+			t.Errorf("PlanVMs(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRunBasicCampaign(t *testing.T) {
+	f := setup(t)
+	servers := f.topo.ServersInCountry("US")[:20]
+	sink := &SliceSink{}
+	rep, err := f.orch.Run(Config{
+		Region:  "us-east1",
+		Servers: servers,
+		Days:    2,
+		Seed:    1,
+	}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 20 servers, hourly, 2 days, 2 directions.
+	want := 20 * 48 * 2
+	if rep.Tests != want || len(sink.Out) != want {
+		t.Fatalf("tests = %d / records %d, want %d", rep.Tests, len(sink.Out), want)
+	}
+	if rep.VMs != 2 {
+		t.Errorf("VMs = %d, want 2 (20 servers / 17 per VM)", rep.VMs)
+	}
+	if rep.Hours != 48 {
+		t.Errorf("hours = %d", rep.Hours)
+	}
+	// Records are sane.
+	downs, ups := 0, 0
+	for _, m := range sink.Out {
+		if m.Mbps <= 0 {
+			t.Fatalf("non-positive throughput: %+v", m)
+		}
+		if m.Dir == netsim.Download {
+			downs++
+		} else {
+			ups++
+		}
+		if m.Time.Before(time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)) {
+			t.Fatalf("bad time: %+v", m)
+		}
+	}
+	if downs != ups {
+		t.Errorf("downloads %d != uploads %d", downs, ups)
+	}
+	// VMs were cleaned up.
+	if vms := f.platform.ListVMs("us-east1"); len(vms) != 0 {
+		t.Errorf("VMs left running: %d", len(vms))
+	}
+	// Costs accrued: compute + egress.
+	c := f.platform.Costs()
+	if c.ComputeUSD <= 0 || c.EgressUSD <= 0 {
+		t.Errorf("costs not accrued: %+v", c)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	f := setup(t)
+	if _, err := f.orch.Run(Config{Region: "us-east1"}, nil); err == nil {
+		t.Error("no servers: want error")
+	}
+	if _, err := f.orch.Run(Config{Region: "atlantis", Servers: f.topo.Servers()[:1]}, nil); err == nil {
+		t.Error("unknown region: want error")
+	}
+}
+
+func TestRandomisedOrderDiffersAcrossHours(t *testing.T) {
+	f := setup(t)
+	servers := f.topo.ServersInCountry("US")[:10]
+	sink := &SliceSink{}
+	_, err := f.orch.Run(Config{Region: "us-west1", Servers: servers, Days: 1, Seed: 7}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct per-hour test order from the download records and
+	// verify at least two hours ordered servers differently.
+	orders := make(map[int][]int)
+	for _, m := range sink.Out {
+		if m.Dir != netsim.Download {
+			continue
+		}
+		h := m.Time.Hour()
+		orders[h] = append(orders[h], m.ServerID)
+	}
+	base := orders[0]
+	differs := false
+	for h := 1; h < 24; h++ {
+		for i := range orders[h] {
+			if orders[h][i] != base[i] {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("test order identical across all hours")
+	}
+}
+
+func TestDifferentialTierPairs(t *testing.T) {
+	f := setup(t)
+	servers := f.topo.Servers()[:5]
+	sink := &SliceSink{}
+	rep, err := f.orch.Run(Config{
+		Region:  "europe-west1",
+		Servers: servers,
+		Tiers:   []bgp.Tier{bgp.Premium, bgp.Standard},
+		Days:    1,
+		Seed:    2,
+	}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VMs != 2 { // one VM pair (5 servers fit in one VM per tier)
+		t.Errorf("VMs = %d, want 2", rep.VMs)
+	}
+	// Same-hour pairs must exist for the tier comparison.
+	deltas := analysis.TierDeltas(sink.Out, "europe-west1", analysis.MetricDownload)
+	if len(deltas) != 5*24 {
+		t.Errorf("paired deltas = %d, want %d", len(deltas), 5*24)
+	}
+}
+
+func TestCapturesUploadedAndParseable(t *testing.T) {
+	f := setup(t)
+	servers := f.topo.Servers()[:3]
+	rep, err := f.orch.Run(Config{
+		Region:       "us-east1",
+		Servers:      servers,
+		Days:         1,
+		Seed:         3,
+		CaptureEvery: 10,
+	}, &SliceSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Captures == 0 {
+		t.Fatal("no captures recorded")
+	}
+	keys := f.bucket.List("us-east1/pcap/")
+	if len(keys) == 0 {
+		t.Fatal("no captures uploaded")
+	}
+	// Every capture must decompress and analyse cleanly.
+	data, ok := f.bucket.Get(keys[0])
+	if !ok {
+		t.Fatal("capture object missing")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := flowstats.Analyze(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != 1 || flows[0].DataSegments == 0 {
+		t.Errorf("capture analysis: %+v", flows)
+	}
+	// SoMeta records alongside.
+	if len(f.bucket.List("us-east1/someta/")) == 0 {
+		t.Error("no someta records uploaded")
+	}
+}
+
+func TestTraceroutesUploaded(t *testing.T) {
+	f := setup(t)
+	servers := f.topo.Servers()[:3]
+	rep, err := f.orch.Run(Config{
+		Region:          "us-east1",
+		Servers:         servers,
+		Days:            2,
+		Seed:            4,
+		TracerouteEvery: 1,
+	}, &SliceSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traceroutes != 6 { // 3 servers x 2 days
+		t.Errorf("traceroutes = %d, want 6", rep.Traceroutes)
+	}
+	keys := f.bucket.List("us-east1/traceroute/")
+	if len(keys) != 6 {
+		t.Errorf("uploaded traceroutes = %d", len(keys))
+	}
+	data, _ := f.bucket.Get(keys[0])
+	if !strings.Contains(string(data), "hops") {
+		t.Error("traceroute JSON malformed")
+	}
+}
+
+func TestStoreSinkIndexes(t *testing.T) {
+	f := setup(t)
+	store := tsdb.NewStore()
+	_, err := f.orch.Run(Config{
+		Region:  "us-west1",
+		Servers: f.topo.Servers()[:4],
+		Days:    1,
+		Seed:    5,
+	}, MultiSink{&StoreSink{Store: store}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 servers x 1 tier x 2 directions = 8 series.
+	if store.SeriesCount() != 8 {
+		t.Errorf("series = %d, want 8", store.SeriesCount())
+	}
+	got := store.Query("speedtest", tsdb.Tags{"dir": "download"}, time.Time{}, time.Time{})
+	if len(got) != 4 {
+		t.Errorf("download series = %d", len(got))
+	}
+	for _, sr := range got {
+		if len(sr.Points) != 24 {
+			t.Errorf("series %v has %d points", sr.Tags, len(sr.Points))
+		}
+	}
+}
+
+func TestDeterministicCampaign(t *testing.T) {
+	f1 := setup(t)
+	f2 := setup(t)
+	cfg := Config{Region: "us-east1", Servers: nil, Days: 1, Seed: 11}
+	cfg.Servers = f1.topo.Servers()[:5]
+	s1 := &SliceSink{}
+	if _, err := f1.orch.Run(cfg, s1); err != nil {
+		t.Fatal(err)
+	}
+	cfg.Servers = f2.topo.Servers()[:5]
+	s2 := &SliceSink{}
+	if _, err := f2.orch.Run(cfg, s2); err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Out) != len(s2.Out) {
+		t.Fatal("campaign lengths differ")
+	}
+	for i := range s1.Out {
+		if s1.Out[i] != s2.Out[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, s1.Out[i], s2.Out[i])
+		}
+	}
+}
+
+func TestFixedOrderAblation(t *testing.T) {
+	f := setup(t)
+	servers := f.topo.Servers()[:6]
+	run := func(fixed bool) []int {
+		sink := &SliceSink{}
+		_, err := f.orch.Run(Config{Region: "us-west1", Servers: servers, Days: 1, Seed: 9, FixedOrder: fixed}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var order []int
+		for _, m := range sink.Out {
+			if m.Dir == netsim.Download && m.Time.Hour() <= 1 {
+				order = append(order, m.ServerID)
+			}
+		}
+		return order
+	}
+	fixed := run(true)
+	// Fixed order: hour 0 and hour 1 have identical server sequences.
+	half := len(fixed) / 2
+	for i := 0; i < half; i++ {
+		if fixed[i] != fixed[half+i] {
+			t.Fatalf("fixed order differs across hours at %d", i)
+		}
+	}
+	random := run(false)
+	same := true
+	for i := 0; i < half; i++ {
+		if random[i] != random[half+i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("randomised order identical across hours")
+	}
+}

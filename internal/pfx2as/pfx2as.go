@@ -1,0 +1,286 @@
+// Package pfx2as implements a prefix-to-AS mapping equivalent to CAIDA's
+// RouteViews Prefix-to-AS dataset. CLASP uses it to resolve traceroute hops
+// to AS numbers and bdrmap uses it to assign ownership of router interfaces.
+//
+// The table is a binary (per-bit) trie keyed by the prefix bits, answering
+// longest-prefix-match queries. The text serialisation follows the
+// RouteViews pfx2as format: one "prefix<TAB>length<TAB>AS" line per prefix,
+// with multi-origin prefixes written as underscore-joined AS sets (e.g.
+// "701_702") and AS sets from distinct announcements joined by commas.
+package pfx2as
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// String implements fmt.Stringer ("AS15169").
+func (a ASN) String() string { return fmt.Sprintf("AS%d", uint32(a)) }
+
+// Origin is the origin AS set announced for one prefix. Almost always a
+// single AS; multi-origin announcements (MOAS) carry more.
+type Origin []ASN
+
+// Primary returns the first (preferred) AS of the set, or 0 if empty.
+func (o Origin) Primary() ASN {
+	if len(o) == 0 {
+		return 0
+	}
+	return o[0]
+}
+
+// Contains reports whether the set contains asn.
+func (o Origin) Contains(asn ASN) bool {
+	for _, a := range o {
+		if a == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the origin in RouteViews notation (underscore-joined).
+func (o Origin) String() string {
+	parts := make([]string, len(o))
+	for i, a := range o {
+		parts[i] = strconv.FormatUint(uint64(a), 10)
+	}
+	return strings.Join(parts, "_")
+}
+
+type trieNode struct {
+	child  [2]*trieNode
+	origin Origin // non-nil when a prefix terminates here
+	set    bool
+}
+
+// Table is a longest-prefix-match table from IP prefixes to origin AS sets.
+// The zero value is not usable; call New.
+type Table struct {
+	v4, v6   *trieNode
+	prefixes int
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{v4: &trieNode{}, v6: &trieNode{}}
+}
+
+// Len returns the number of distinct prefixes inserted.
+func (t *Table) Len() int { return t.prefixes }
+
+// Insert adds or replaces the origin for a prefix. An invalid prefix or an
+// empty origin is rejected.
+func (t *Table) Insert(p netip.Prefix, origin Origin) error {
+	if !p.IsValid() {
+		return fmt.Errorf("pfx2as: invalid prefix %v", p)
+	}
+	if len(origin) == 0 {
+		return fmt.Errorf("pfx2as: empty origin for %v", p)
+	}
+	p = p.Masked()
+	root := t.v4
+	if p.Addr().Is6() && !p.Addr().Is4In6() {
+		root = t.v6
+	}
+	n := root
+	addr := p.Addr().AsSlice()
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(addr, i)
+		if n.child[b] == nil {
+			n.child[b] = &trieNode{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.prefixes++
+	}
+	o := make(Origin, len(origin))
+	copy(o, origin)
+	n.origin = o
+	n.set = true
+	return nil
+}
+
+// Lookup returns the origin AS set and matched prefix length for the longest
+// prefix covering addr. ok is false when no prefix matches.
+func (t *Table) Lookup(addr netip.Addr) (origin Origin, bits int, ok bool) {
+	if !addr.IsValid() {
+		return nil, 0, false
+	}
+	root := t.v4
+	maxBits := 32
+	if addr.Is6() && !addr.Is4In6() {
+		root = t.v6
+		maxBits = 128
+	}
+	if addr.Is4In6() {
+		addr = addr.Unmap()
+	}
+	slice := addr.AsSlice()
+	n := root
+	for i := 0; i <= maxBits; i++ {
+		if n.set {
+			origin, bits, ok = n.origin, i, true
+		}
+		if i == maxBits {
+			break
+		}
+		b := bitAt(slice, i)
+		if n.child[b] == nil {
+			break
+		}
+		n = n.child[b]
+	}
+	return origin, bits, ok
+}
+
+// LookupASN is a convenience wrapper returning the primary origin AS for
+// addr, or 0 when unmapped.
+func (t *Table) LookupASN(addr netip.Addr) ASN {
+	o, _, ok := t.Lookup(addr)
+	if !ok {
+		return 0
+	}
+	return o.Primary()
+}
+
+func bitAt(b []byte, i int) int {
+	return int(b[i/8]>>(7-uint(i%8))) & 1
+}
+
+// entry pairs a prefix with its origin for serialisation.
+type entry struct {
+	prefix netip.Prefix
+	origin Origin
+}
+
+func (t *Table) entries() []entry {
+	var out []entry
+	var walk func(n *trieNode, addr [16]byte, bits int, v6 bool)
+	walk = func(n *trieNode, addr [16]byte, bits int, v6 bool) {
+		if n == nil {
+			return
+		}
+		if n.set {
+			var ip netip.Addr
+			if v6 {
+				ip = netip.AddrFrom16(addr)
+			} else {
+				var a4 [4]byte
+				copy(a4[:], addr[:4])
+				ip = netip.AddrFrom4(a4)
+			}
+			out = append(out, entry{netip.PrefixFrom(ip, bits), n.origin})
+		}
+		for b := 0; b < 2; b++ {
+			if n.child[b] == nil {
+				continue
+			}
+			next := addr
+			if b == 1 {
+				next[bits/8] |= 1 << (7 - uint(bits%8))
+			}
+			walk(n.child[b], next, bits+1, v6)
+		}
+	}
+	walk(t.v4, [16]byte{}, 0, false)
+	walk(t.v6, [16]byte{}, 0, true)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].prefix, out[j].prefix
+		if c := a.Addr().Compare(b.Addr()); c != 0 {
+			return c < 0
+		}
+		return a.Bits() < b.Bits()
+	})
+	return out
+}
+
+// WriteTo serialises the table in RouteViews pfx2as text format.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, e := range t.entries() {
+		c, err := fmt.Fprintf(bw, "%s\t%d\t%s\n", e.prefix.Addr(), e.prefix.Bits(), e.origin)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a RouteViews pfx2as text stream into a new table. Lines are
+// "addr<TAB>length<TAB>origin" where origin is an underscore- or
+// comma-separated AS list. Blank lines and lines starting with '#' are
+// skipped.
+func Read(r io.Reader) (*Table, error) {
+	t := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("pfx2as: line %d: want 3 fields, got %d", lineNo, len(fields))
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("pfx2as: line %d: %v", lineNo, err)
+		}
+		bits, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("pfx2as: line %d: bad length: %v", lineNo, err)
+		}
+		prefix := netip.PrefixFrom(addr, bits)
+		if !prefix.IsValid() {
+			return nil, fmt.Errorf("pfx2as: line %d: invalid prefix %s/%d", lineNo, addr, bits)
+		}
+		origin, err := ParseOrigin(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("pfx2as: line %d: %v", lineNo, err)
+		}
+		if err := t.Insert(prefix, origin); err != nil {
+			return nil, fmt.Errorf("pfx2as: line %d: %v", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ParseOrigin parses a RouteViews origin field: AS numbers joined with '_'
+// (MOAS set) or ',' (alternative sets, flattened here).
+func ParseOrigin(s string) (Origin, error) {
+	var out Origin
+	for _, group := range strings.Split(s, ",") {
+		for _, part := range strings.Split(group, "_") {
+			part = strings.TrimPrefix(strings.TrimSpace(part), "AS")
+			if part == "" {
+				continue
+			}
+			v, err := strconv.ParseUint(part, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("pfx2as: bad AS %q", part)
+			}
+			out = append(out, ASN(v))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pfx2as: empty origin %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,303 @@
+package pfx2as
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLookupLongestMatch(t *testing.T) {
+	tb := New()
+	if err := tb.Insert(mustPrefix(t, "10.0.0.0/8"), Origin{100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(mustPrefix(t, "10.1.0.0/16"), Origin{200}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(mustPrefix(t, "10.1.2.0/24"), Origin{300}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		addr string
+		want ASN
+		bits int
+	}{
+		{"10.2.3.4", 100, 8},
+		{"10.1.9.9", 200, 16},
+		{"10.1.2.9", 300, 24},
+	}
+	for _, c := range cases {
+		o, bits, ok := tb.Lookup(netip.MustParseAddr(c.addr))
+		if !ok {
+			t.Errorf("Lookup(%s): no match", c.addr)
+			continue
+		}
+		if o.Primary() != c.want || bits != c.bits {
+			t.Errorf("Lookup(%s) = %v/%d, want AS%d/%d", c.addr, o, bits, c.want, c.bits)
+		}
+	}
+	if _, _, ok := tb.Lookup(netip.MustParseAddr("11.0.0.1")); ok {
+		t.Error("Lookup(11.0.0.1): unexpected match")
+	}
+}
+
+func TestLookupASN(t *testing.T) {
+	tb := New()
+	tb.Insert(mustPrefix(t, "192.0.2.0/24"), Origin{64496})
+	if got := tb.LookupASN(netip.MustParseAddr("192.0.2.55")); got != 64496 {
+		t.Errorf("LookupASN = %v", got)
+	}
+	if got := tb.LookupASN(netip.MustParseAddr("198.51.100.1")); got != 0 {
+		t.Errorf("LookupASN miss = %v, want 0", got)
+	}
+	if got := tb.LookupASN(netip.Addr{}); got != 0 {
+		t.Errorf("LookupASN invalid = %v, want 0", got)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tb := New()
+	if err := tb.Insert(netip.Prefix{}, Origin{1}); err == nil {
+		t.Error("invalid prefix: want error")
+	}
+	if err := tb.Insert(mustPrefix(t, "10.0.0.0/8"), nil); err == nil {
+		t.Error("empty origin: want error")
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tb := New()
+	p := mustPrefix(t, "10.0.0.0/8")
+	tb.Insert(p, Origin{1})
+	tb.Insert(p, Origin{2})
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+	if got := tb.LookupASN(netip.MustParseAddr("10.0.0.1")); got != 2 {
+		t.Errorf("replaced origin = %v, want 2", got)
+	}
+}
+
+func TestInsertMasksHostBits(t *testing.T) {
+	tb := New()
+	tb.Insert(netip.PrefixFrom(netip.MustParseAddr("10.1.2.3"), 8), Origin{7})
+	if got := tb.LookupASN(netip.MustParseAddr("10.200.0.1")); got != 7 {
+		t.Errorf("masked insert lookup = %v, want 7", got)
+	}
+}
+
+func TestIPv6(t *testing.T) {
+	tb := New()
+	tb.Insert(mustPrefix(t, "2001:db8::/32"), Origin{15169})
+	tb.Insert(mustPrefix(t, "2001:db8:1::/48"), Origin{13335})
+	if got := tb.LookupASN(netip.MustParseAddr("2001:db8:1::5")); got != 13335 {
+		t.Errorf("v6 /48 lookup = %v", got)
+	}
+	if got := tb.LookupASN(netip.MustParseAddr("2001:db8:2::5")); got != 15169 {
+		t.Errorf("v6 /32 lookup = %v", got)
+	}
+	// v4 and v6 tries are independent.
+	if got := tb.LookupASN(netip.MustParseAddr("32.1.13.184")); got != 0 {
+		t.Errorf("v4 lookup in v6-only table = %v", got)
+	}
+}
+
+func TestMappedV4Lookup(t *testing.T) {
+	tb := New()
+	tb.Insert(mustPrefix(t, "10.0.0.0/8"), Origin{42})
+	mapped := netip.AddrFrom16(netip.MustParseAddr("::ffff:10.1.1.1").As16())
+	if got := tb.LookupASN(mapped); got != 42 {
+		t.Errorf("4-in-6 lookup = %v, want 42", got)
+	}
+}
+
+func TestOriginHelpers(t *testing.T) {
+	o := Origin{701, 702}
+	if o.Primary() != 701 {
+		t.Errorf("Primary = %v", o.Primary())
+	}
+	if !o.Contains(702) || o.Contains(703) {
+		t.Error("Contains broken")
+	}
+	if o.String() != "701_702" {
+		t.Errorf("String = %q", o.String())
+	}
+	var empty Origin
+	if empty.Primary() != 0 {
+		t.Error("empty Primary should be 0")
+	}
+	if ASN(15169).String() != "AS15169" {
+		t.Errorf("ASN.String = %q", ASN(15169).String())
+	}
+}
+
+func TestParseOrigin(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Origin
+		err  bool
+	}{
+		{"15169", Origin{15169}, false},
+		{"701_702", Origin{701, 702}, false},
+		{"1_2,3", Origin{1, 2, 3}, false},
+		{"AS15169", Origin{15169}, false},
+		{"", nil, true},
+		{"abc", nil, true},
+		{"99999999999", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseOrigin(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseOrigin(%q): want error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseOrigin(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseOrigin(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseOrigin(%q)[%d] = %v, want %v", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestRoundTripSerialisation(t *testing.T) {
+	tb := New()
+	tb.Insert(mustPrefix(t, "10.0.0.0/8"), Origin{100})
+	tb.Insert(mustPrefix(t, "10.1.0.0/16"), Origin{200, 201})
+	tb.Insert(mustPrefix(t, "192.168.0.0/16"), Origin{300})
+	tb.Insert(mustPrefix(t, "2001:db8::/32"), Origin{400})
+
+	var buf bytes.Buffer
+	if _, err := tb.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tb.Len() {
+		t.Fatalf("round trip Len = %d, want %d", got.Len(), tb.Len())
+	}
+	for _, addr := range []string{"10.5.0.1", "10.1.1.1", "192.168.4.4", "2001:db8::1"} {
+		a := netip.MustParseAddr(addr)
+		w, _, _ := tb.Lookup(a)
+		g, _, _ := got.Lookup(a)
+		if w.Primary() != g.Primary() {
+			t.Errorf("round trip Lookup(%s) = %v, want %v", addr, g, w)
+		}
+	}
+	// MOAS set preserved.
+	o, _, _ := got.Lookup(netip.MustParseAddr("10.1.1.1"))
+	if len(o) != 2 || o[1] != 201 {
+		t.Errorf("MOAS not preserved: %v", o)
+	}
+}
+
+func TestReadErrorsAndComments(t *testing.T) {
+	good := "# comment\n\n10.0.0.0\t8\t100\n"
+	tb, err := Read(strings.NewReader(good))
+	if err != nil || tb.Len() != 1 {
+		t.Errorf("Read(good) = len %d, err %v", tb.Len(), err)
+	}
+	for _, bad := range []string{
+		"10.0.0.0\t8",              // too few fields
+		"nonsense\t8\t100",         // bad addr
+		"10.0.0.0\tx\t100",         // bad length
+		"10.0.0.0\t99\t100",        // invalid prefix bits
+		"10.0.0.0\t8\tjunk",        // bad origin
+		"10.0.0.0\t8\t100\textra4", // too many fields
+	} {
+		if _, err := Read(strings.NewReader(bad)); err == nil {
+			t.Errorf("Read(%q): want error", bad)
+		}
+	}
+}
+
+// Property: after inserting a random set of /16s keyed by their first two
+// octets, lookups inside each prefix return the inserted AS.
+func TestRandomPrefixLookupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New()
+		type ins struct {
+			a, b byte
+			asn  ASN
+		}
+		var inserted []ins
+		seen := map[[2]byte]bool{}
+		for i := 0; i < 50; i++ {
+			a, b := byte(rng.Intn(200)+1), byte(rng.Intn(256))
+			if seen[[2]byte{a, b}] {
+				continue
+			}
+			seen[[2]byte{a, b}] = true
+			asn := ASN(rng.Intn(60000) + 1)
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{a, b, 0, 0}), 16)
+			if err := tb.Insert(p, Origin{asn}); err != nil {
+				return false
+			}
+			inserted = append(inserted, ins{a, b, asn})
+		}
+		for _, in := range inserted {
+			addr := netip.AddrFrom4([4]byte{in.a, in.b, byte(rng.Intn(256)), byte(rng.Intn(256))})
+			if tb.LookupASN(addr) != in.asn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: serialisation round-trips for random tables.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New()
+		for i := 0; i < 30; i++ {
+			bits := rng.Intn(25) + 8
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(224)), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+			tb.Insert(netip.PrefixFrom(addr, bits), Origin{ASN(rng.Intn(64000) + 1)})
+		}
+		var buf bytes.Buffer
+		if _, err := tb.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		var buf2 bytes.Buffer
+		if _, err := got.WriteTo(&buf2); err != nil {
+			return false
+		}
+		return bytes.Equal(buf.Bytes(), buf2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,90 @@
+package selection
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"github.com/clasp-measurement/clasp/internal/bdrmap"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+)
+
+// The paper ran its pilot scans once, at the start of the campaign, and
+// notes in §5 that CLASP therefore "cannot adapt to changes in the use of
+// interdomain links and any new deployment of speed test servers". Refresh
+// implements that future-work item: re-run the pilot, diff the link and
+// server landscape against the previous selection, and produce an updated
+// server list that keeps still-valid picks stable (continuity matters for
+// longitudinal series) while covering newly appeared links.
+
+// RefreshDiff describes how the landscape moved between two pilots.
+type RefreshDiff struct {
+	// AddedLinks are interdomain links present now but absent before.
+	AddedLinks []netip.Addr
+	// RemovedLinks disappeared since the previous pilot.
+	RemovedLinks []netip.Addr
+	// KeptServers are selections carried over unchanged.
+	KeptServers int
+	// NewServers are selections added for newly covered links.
+	NewServers int
+	// DroppedServers were removed because their link vanished.
+	DroppedServers int
+}
+
+// RefreshResult bundles the new selection with the diff.
+type RefreshResult struct {
+	Selection *TopoResult
+	Diff      RefreshDiff
+}
+
+// Refresh re-runs the topology-based pipeline and reconciles it with a
+// previous selection: servers whose links still exist are kept (even when
+// a marginally better server appeared, to preserve series continuity);
+// links that vanished lose their server; new links get the freshly chosen
+// one, budget permitting.
+func Refresh(sim *netsim.Sim, mapper *bdrmap.Mapper, prev *TopoResult, params TopoParams) (*RefreshResult, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("selection: refresh needs a previous selection")
+	}
+	if params.Region == "" {
+		params.Region = prev.Region
+	}
+	next, err := TopologyBased(sim, mapper, params)
+	if err != nil {
+		return nil, fmt.Errorf("selection: refresh pilot: %w", err)
+	}
+
+	prevByLink := make(map[netip.Addr]Selected, len(prev.Selected))
+	for _, s := range prev.Selected {
+		prevByLink[s.FarIP] = s
+	}
+	nextByLink := make(map[netip.Addr]Selected, len(next.Selected))
+	for _, s := range next.Selected {
+		nextByLink[s.FarIP] = s
+	}
+
+	var diff RefreshDiff
+	merged := make([]Selected, 0, len(next.Selected))
+	for link, s := range nextByLink {
+		if old, ok := prevByLink[link]; ok {
+			merged = append(merged, old) // continuity: keep the old pick
+			diff.KeptServers++
+		} else {
+			merged = append(merged, s)
+			diff.AddedLinks = append(diff.AddedLinks, link)
+			diff.NewServers++
+		}
+	}
+	for link := range prevByLink {
+		if _, ok := nextByLink[link]; !ok {
+			diff.RemovedLinks = append(diff.RemovedLinks, link)
+			diff.DroppedServers++
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Server.ID < merged[j].Server.ID })
+	sort.Slice(diff.AddedLinks, func(i, j int) bool { return diff.AddedLinks[i].Compare(diff.AddedLinks[j]) < 0 })
+	sort.Slice(diff.RemovedLinks, func(i, j int) bool { return diff.RemovedLinks[i].Compare(diff.RemovedLinks[j]) < 0 })
+
+	next.Selected = merged
+	return &RefreshResult{Selection: next, Diff: diff}, nil
+}

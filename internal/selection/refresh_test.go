@@ -1,0 +1,83 @@
+package selection
+
+import (
+	"testing"
+)
+
+func TestRefreshIdenticalPilotKeepsEverything(t *testing.T) {
+	sim, mapper := setup(t)
+	params := TopoParams{Region: "us-east1", Seed: 13}
+	prev, err := TopologyBased(sim, mapper, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Refresh(sim, mapper, prev, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same topology, same seed: nothing should change except possibly
+	// response-loss jitter in traces — allow tiny churn.
+	if res.Diff.DroppedServers > len(prev.Selected)/20 {
+		t.Errorf("dropped %d of %d on identical refresh", res.Diff.DroppedServers, len(prev.Selected))
+	}
+	if res.Diff.KeptServers < len(prev.Selected)*9/10 {
+		t.Errorf("kept only %d of %d", res.Diff.KeptServers, len(prev.Selected))
+	}
+	// Continuity: kept links keep their original server.
+	prevByLink := make(map[string]int)
+	for _, s := range prev.Selected {
+		prevByLink[s.FarIP.String()] = s.Server.ID
+	}
+	for _, s := range res.Selection.Selected {
+		if old, ok := prevByLink[s.FarIP.String()]; ok && old != s.Server.ID {
+			t.Errorf("link %s changed server %d -> %d on refresh", s.FarIP, old, s.Server.ID)
+		}
+	}
+}
+
+func TestRefreshDetectsVisibilityChange(t *testing.T) {
+	sim, mapper := setup(t)
+	prev, err := TopologyBased(sim, mapper, TopoParams{Region: "us-east1", Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different probing seed changes which silent hops hide links,
+	// standing in for real-world link churn between pilots.
+	res, err := Refresh(sim, mapper, prev, TopoParams{Region: "us-east1", Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Diff.KeptServers + res.Diff.NewServers
+	if total != len(res.Selection.Selected) {
+		t.Errorf("diff accounting: kept %d + new %d != selected %d",
+			res.Diff.KeptServers, res.Diff.NewServers, len(res.Selection.Selected))
+	}
+	if len(res.Diff.AddedLinks) != res.Diff.NewServers {
+		t.Errorf("added links %d != new servers %d", len(res.Diff.AddedLinks), res.Diff.NewServers)
+	}
+	if len(res.Diff.RemovedLinks) != res.Diff.DroppedServers {
+		t.Errorf("removed links %d != dropped %d", len(res.Diff.RemovedLinks), res.Diff.DroppedServers)
+	}
+}
+
+func TestRefreshNeedsPrevious(t *testing.T) {
+	sim, mapper := setup(t)
+	if _, err := Refresh(sim, mapper, nil, TopoParams{Region: "us-east1"}); err == nil {
+		t.Error("nil previous selection accepted")
+	}
+}
+
+func TestRefreshInheritsRegion(t *testing.T) {
+	sim, mapper := setup(t)
+	prev, err := TopologyBased(sim, mapper, TopoParams{Region: "us-west1", Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Refresh(sim, mapper, prev, TopoParams{Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Selection.Region != "us-west1" {
+		t.Errorf("region = %q", res.Selection.Region)
+	}
+}

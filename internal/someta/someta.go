@@ -1,0 +1,164 @@
+// Package someta records measurement metadata alongside each experiment,
+// after SoMeta (Sommers, Durairajan, Barford, IMC 2017): periodic snapshots
+// of host state (CPU, memory, network counters, clock) that let the
+// analysis verify a test was not confounded by resource exhaustion — the
+// paper checked that its n1-standard-2 VMs never depleted CPU during tests
+// (§3.2).
+package someta
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Snapshot is one metadata record.
+type Snapshot struct {
+	Timestamp   time.Time `json:"timestamp"`
+	Hostname    string    `json:"hostname"`
+	CPUUtil     float64   `json:"cpu_util"` // 0..1
+	MemUsedMB   float64   `json:"mem_used_mb"`
+	NetBytesIn  int64     `json:"net_bytes_in"`
+	NetBytesOut int64     `json:"net_bytes_out"`
+	Goroutines  int       `json:"goroutines"`
+	GoVersion   string    `json:"go_version"`
+}
+
+// Probe supplies host counters for a snapshot. Implementations exist for
+// the local process (LocalProbe) and for simulated VMs (FuncProbe).
+type Probe interface {
+	Sample() (cpuUtil float64, memUsedMB float64, netIn, netOut int64)
+}
+
+// LocalProbe samples the current process: memory from runtime.MemStats and
+// a CPU proxy from goroutine pressure. Network counters must be fed by the
+// caller via AddNetBytes.
+type LocalProbe struct {
+	mu  sync.Mutex
+	in  int64
+	out int64
+}
+
+// AddNetBytes accumulates observed network traffic.
+func (p *LocalProbe) AddNetBytes(in, out int64) {
+	p.mu.Lock()
+	p.in += in
+	p.out += out
+	p.mu.Unlock()
+}
+
+// Sample implements Probe.
+func (p *LocalProbe) Sample() (float64, float64, int64, int64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	cpu := float64(runtime.NumGoroutine()) / float64(runtime.NumCPU()*8)
+	if cpu > 1 {
+		cpu = 1
+	}
+	p.mu.Lock()
+	in, out := p.in, p.out
+	p.mu.Unlock()
+	return cpu, float64(ms.Alloc) / (1 << 20), in, out
+}
+
+// FuncProbe adapts a function to the Probe interface (simulated VMs).
+type FuncProbe func() (cpuUtil, memUsedMB float64, netIn, netOut int64)
+
+// Sample implements Probe.
+func (f FuncProbe) Sample() (float64, float64, int64, int64) { return f() }
+
+// Collector takes snapshots from a probe.
+type Collector struct {
+	Hostname string
+	Probe    Probe
+
+	mu        sync.Mutex
+	snapshots []Snapshot
+}
+
+// NewCollector creates a collector. A nil probe uses LocalProbe.
+func NewCollector(hostname string, probe Probe) *Collector {
+	if probe == nil {
+		probe = &LocalProbe{}
+	}
+	return &Collector{Hostname: hostname, Probe: probe}
+}
+
+// Snap records one snapshot at the given (possibly virtual) time.
+func (c *Collector) Snap(at time.Time) Snapshot {
+	cpu, mem, in, out := c.Probe.Sample()
+	s := Snapshot{
+		Timestamp:   at,
+		Hostname:    c.Hostname,
+		CPUUtil:     cpu,
+		MemUsedMB:   mem,
+		NetBytesIn:  in,
+		NetBytesOut: out,
+		Goroutines:  runtime.NumGoroutine(),
+		GoVersion:   runtime.Version(),
+	}
+	c.mu.Lock()
+	c.snapshots = append(c.snapshots, s)
+	c.mu.Unlock()
+	return s
+}
+
+// Snapshots returns a copy of the records so far.
+func (c *Collector) Snapshots() []Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Snapshot, len(c.snapshots))
+	copy(out, c.snapshots)
+	return out
+}
+
+// Reset discards recorded snapshots.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.snapshots = nil
+	c.mu.Unlock()
+}
+
+// MaxCPU returns the highest CPU utilisation observed (0 when empty). The
+// analysis uses it to discard tests run on a starved VM.
+func (c *Collector) MaxCPU() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	max := 0.0
+	for _, s := range c.snapshots {
+		if s.CPUUtil > max {
+			max = s.CPUUtil
+		}
+	}
+	return max
+}
+
+// WriteJSON streams snapshots as JSON lines.
+func WriteJSON(w io.Writer, snaps []Snapshot) error {
+	enc := json.NewEncoder(w)
+	for i := range snaps {
+		if err := enc.Encode(&snaps[i]); err != nil {
+			return fmt.Errorf("someta: encoding snapshot: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSON parses snapshots written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Snapshot, error) {
+	dec := json.NewDecoder(r)
+	var out []Snapshot
+	for {
+		var s Snapshot
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("someta: decoding snapshot: %w", err)
+		}
+		out = append(out, s)
+	}
+}

@@ -1,0 +1,119 @@
+package someta
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2020, 5, 1, 12, 0, 0, 0, time.UTC)
+
+func TestLocalProbeSnapshot(t *testing.T) {
+	c := NewCollector("vm-test", nil)
+	s := c.Snap(t0)
+	if s.Hostname != "vm-test" {
+		t.Errorf("hostname = %q", s.Hostname)
+	}
+	if s.CPUUtil < 0 || s.CPUUtil > 1 {
+		t.Errorf("cpu = %v", s.CPUUtil)
+	}
+	if s.MemUsedMB <= 0 {
+		t.Errorf("mem = %v", s.MemUsedMB)
+	}
+	if s.Goroutines <= 0 || !strings.HasPrefix(s.GoVersion, "go") {
+		t.Errorf("runtime fields: %+v", s)
+	}
+	if !s.Timestamp.Equal(t0) {
+		t.Errorf("timestamp = %v", s.Timestamp)
+	}
+}
+
+func TestLocalProbeNetCounters(t *testing.T) {
+	p := &LocalProbe{}
+	p.AddNetBytes(100, 50)
+	p.AddNetBytes(10, 5)
+	_, _, in, out := p.Sample()
+	if in != 110 || out != 55 {
+		t.Errorf("net counters = %d/%d", in, out)
+	}
+}
+
+func TestFuncProbe(t *testing.T) {
+	c := NewCollector("sim-vm", FuncProbe(func() (float64, float64, int64, int64) {
+		return 0.42, 1024, 7, 9
+	}))
+	s := c.Snap(t0)
+	if s.CPUUtil != 0.42 || s.MemUsedMB != 1024 || s.NetBytesIn != 7 || s.NetBytesOut != 9 {
+		t.Errorf("probe values lost: %+v", s)
+	}
+}
+
+func TestSnapshotsAccumulateAndReset(t *testing.T) {
+	c := NewCollector("vm", FuncProbe(func() (float64, float64, int64, int64) { return 0.5, 1, 0, 0 }))
+	for i := 0; i < 5; i++ {
+		c.Snap(t0.Add(time.Duration(i) * time.Minute))
+	}
+	snaps := c.Snapshots()
+	if len(snaps) != 5 {
+		t.Fatalf("snapshots = %d", len(snaps))
+	}
+	// Returned slice is a copy.
+	snaps[0].Hostname = "mutated"
+	if c.Snapshots()[0].Hostname == "mutated" {
+		t.Error("Snapshots exposes internal slice")
+	}
+	c.Reset()
+	if len(c.Snapshots()) != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestMaxCPU(t *testing.T) {
+	vals := []float64{0.1, 0.9, 0.4}
+	i := 0
+	c := NewCollector("vm", FuncProbe(func() (float64, float64, int64, int64) {
+		v := vals[i%len(vals)]
+		i++
+		return v, 1, 0, 0
+	}))
+	if c.MaxCPU() != 0 {
+		t.Error("MaxCPU on empty collector")
+	}
+	for range vals {
+		c.Snap(t0)
+	}
+	if c.MaxCPU() != 0.9 {
+		t.Errorf("MaxCPU = %v", c.MaxCPU())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := NewCollector("vm", FuncProbe(func() (float64, float64, int64, int64) { return 0.3, 500, 1000, 2000 }))
+	for i := 0; i < 3; i++ {
+		c.Snap(t0.Add(time.Duration(i) * time.Second))
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, c.Snapshots()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("round trip count = %d", len(got))
+	}
+	for i, s := range got {
+		orig := c.Snapshots()[i]
+		if !s.Timestamp.Equal(orig.Timestamp) || s.CPUUtil != orig.CPUUtil || s.NetBytesOut != orig.NetBytesOut {
+			t.Errorf("snapshot %d mismatch: %+v vs %+v", i, s, orig)
+		}
+	}
+}
+
+func TestReadJSONGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{bad")); err == nil {
+		t.Error("garbage: want error")
+	}
+}

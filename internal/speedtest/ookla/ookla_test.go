@@ -1,0 +1,204 @@
+package ookla
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/shaper"
+)
+
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	s, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func quickCfg() Config {
+	return Config{
+		PingCount:        3,
+		DownloadDuration: 300 * time.Millisecond,
+		UploadDuration:   300 * time.Millisecond,
+		BlockBytes:       256 << 10,
+	}
+}
+
+func TestFullTestLoopback(t *testing.T) {
+	s := startServer(t)
+	c := NewClient(quickCfg())
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx, s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps <= 0 || res.UploadMbps <= 0 {
+		t.Errorf("throughput not measured: %+v", res)
+	}
+	if res.LatencyMs <= 0 || res.LatencyMs > 100 {
+		t.Errorf("loopback latency = %v ms", res.LatencyMs)
+	}
+	if res.BytesDown < int64(quickCfg().BlockBytes) || res.BytesUp < int64(quickCfg().BlockBytes) {
+		t.Errorf("byte counts too small: %+v", res)
+	}
+	if res.Platform != "ookla" {
+		t.Errorf("platform = %q", res.Platform)
+	}
+}
+
+func TestShapedUploadRespectsCap(t *testing.T) {
+	// Shape the client's writes at 80 Mbps — the tc substitute — and
+	// check the measured upload honours the cap.
+	s := startServer(t)
+	cfg := quickCfg()
+	cfg.UploadDuration = 800 * time.Millisecond
+	c := NewClient(cfg)
+	c.Dial = func(ctx context.Context, addr string) (net.Conn, error) {
+		raw, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return shaper.NewConn(raw, shaper.Options{WriteMbps: 80}), nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx, s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UploadMbps > 110 {
+		t.Errorf("shaped upload measured %.0f Mbps, cap 80", res.UploadMbps)
+	}
+}
+
+func TestProtocolConversation(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	send := func(line string) {
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	expectPrefix := func(prefix string) string {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading reply to %q: %v", prefix, err)
+		}
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("reply %q, want prefix %q", strings.TrimSpace(line), prefix)
+		}
+		return line
+	}
+	send("HI")
+	expectPrefix("HELLO")
+	send("PING 12345")
+	expectPrefix("PONG")
+	send("DOWNLOAD 1000")
+	// Exactly 1000 bytes including trailing newline.
+	got := make([]byte, 1000)
+	for read := 0; read < 1000; {
+		n, err := br.Read(got[read:])
+		if err != nil {
+			t.Fatal(err)
+		}
+		read += n
+	}
+	if !strings.HasPrefix(string(got), "DOWNLOAD ") || got[999] != '\n' {
+		t.Errorf("download block malformed: %q...", got[:20])
+	}
+	send("UPLOAD 10 0")
+	conn.Write([]byte("0123456789"))
+	expectPrefix("OK 10")
+	send("BOGUS")
+	expectPrefix("ERROR")
+	send("DOWNLOAD notanumber")
+	expectPrefix("ERROR")
+	send("DOWNLOAD -5")
+	expectPrefix("ERROR")
+	send("QUIT")
+}
+
+func TestDownloadMinimumSize(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "DOWNLOAD 1\n")
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "DOWNLOAD ") {
+		t.Errorf("tiny download reply %q", line)
+	}
+}
+
+func TestClientErrorOnRefusedConnection(t *testing.T) {
+	c := NewClient(quickCfg())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := c.Run(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("connection to closed port succeeded")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	s := startServer(t)
+	cfg := quickCfg()
+	cfg.DownloadDuration = 10 * time.Second
+	c := NewClient(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Run(ctx, s.Addr().String())
+	if err == nil {
+		t.Error("cancelled run succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation not honoured promptly")
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr().String()
+	s.Close()
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Error("closed server still accepting")
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	s := startServer(t)
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			c := NewClient(quickCfg())
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_, err := c.Run(ctx, s.Addr().String())
+			errs <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("concurrent client: %v", err)
+		}
+	}
+}

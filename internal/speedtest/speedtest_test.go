@@ -1,0 +1,91 @@
+package speedtest
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func sampleServers() []ServerInfo {
+	return []ServerInfo{
+		{ID: 2, Platform: "ookla", Host: "b.example.net", City: "Denver", Country: "US", ASN: 7922},
+		{ID: 1, Platform: "ookla", Host: "a.example.net", City: "Las Vegas", Country: "US", ASN: 22773},
+		{ID: 3, Platform: "mlab", Host: "c.example.net", City: "Sydney", Country: "AU", ASN: 1221},
+	}
+}
+
+func TestDirectorySortsAndCopies(t *testing.T) {
+	d := NewDirectory(sampleServers())
+	got := d.Servers()
+	if len(got) != 3 || got[0].ID != 1 || got[2].ID != 3 {
+		t.Errorf("directory order wrong: %+v", got)
+	}
+	got[0].Host = "mutated"
+	if d.Servers()[0].Host == "mutated" {
+		t.Error("Servers() exposes internal state")
+	}
+}
+
+func TestCrawlRoundTrip(t *testing.T) {
+	d := NewDirectory(sampleServers())
+	srv := httptest.NewServer(d)
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	servers, err := Crawl(ctx, nil, srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != 3 {
+		t.Fatalf("crawled %d servers", len(servers))
+	}
+	if servers[0].City != "Las Vegas" || servers[0].ASN != 22773 {
+		t.Errorf("server metadata lost: %+v", servers[0])
+	}
+}
+
+func TestCrawlCountryFilter(t *testing.T) {
+	d := NewDirectory(sampleServers())
+	srv := httptest.NewServer(d)
+	defer srv.Close()
+	ctx := context.Background()
+	us, err := Crawl(ctx, nil, srv.URL+"?country=US")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(us) != 2 {
+		t.Errorf("US filter returned %d", len(us))
+	}
+	none, err := Crawl(ctx, nil, srv.URL+"?country=XX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Errorf("XX filter returned %d", len(none))
+	}
+}
+
+func TestCrawlErrors(t *testing.T) {
+	ctx := context.Background()
+	if _, err := Crawl(ctx, nil, "http://127.0.0.1:1/"); err == nil {
+		t.Error("unreachable host: want error")
+	}
+	d := NewDirectory(nil)
+	srv := httptest.NewServer(d)
+	defer srv.Close()
+	// POST is rejected.
+	if _, err := Crawl(ctx, nil, srv.URL+"/%zz"); err == nil {
+		t.Error("bad URL: want error")
+	}
+}
+
+func TestMbps(t *testing.T) {
+	if v := Mbps(1_250_000, time.Second); v != 10 {
+		t.Errorf("Mbps = %v, want 10", v)
+	}
+	if v := Mbps(100, 0); v != 0 {
+		t.Errorf("Mbps zero duration = %v", v)
+	}
+}

@@ -1,0 +1,160 @@
+package xfinity
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	srv := httptest.NewServer(&Handler{})
+	t.Cleanup(srv.Close)
+	return strings.TrimPrefix(srv.URL, "http://")
+}
+
+func quickCfg() Config {
+	return Config{
+		Connections: 2,
+		Duration:    300 * time.Millisecond,
+		ObjectBytes: 1 << 20,
+		PingCount:   3,
+	}
+}
+
+func TestFullTestLoopback(t *testing.T) {
+	addr := startServer(t)
+	c := NewClient(quickCfg())
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DownloadMbps <= 0 || res.UploadMbps <= 0 {
+		t.Errorf("throughput missing: %+v", res)
+	}
+	if res.LatencyMs <= 0 || res.LatencyMs > 100 {
+		t.Errorf("latency = %v", res.LatencyMs)
+	}
+	if res.Platform != "comcast" {
+		t.Errorf("platform = %q", res.Platform)
+	}
+	if res.BytesDown <= 0 || res.BytesUp <= 0 {
+		t.Errorf("byte counts: %+v", res)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	addr := startServer(t)
+	base := "http://" + addr
+
+	// Latency endpoint.
+	resp, err := http.Get(base + LatencyPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "pong") {
+		t.Errorf("latency endpoint: %d %q", resp.StatusCode, body)
+	}
+
+	// Download size honoured exactly.
+	resp, err = http.Get(base + DownloadPath + "?size=12345")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if n != 12345 {
+		t.Errorf("download returned %d bytes, want 12345", n)
+	}
+
+	// Bad sizes rejected.
+	for _, q := range []string{"?size=0", "?size=-1", "?size=abc", ""} {
+		resp, err := http.Get(base + DownloadPath + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("download%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// Upload echoes the byte count.
+	resp, err = http.Post(base+UploadPath, "application/octet-stream", strings.NewReader("0123456789"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "10" {
+		t.Errorf("upload ack = %q", body)
+	}
+
+	// Upload requires POST.
+	resp, err = http.Get(base + UploadPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET upload: status %d", resp.StatusCode)
+	}
+
+	// Unknown path.
+	resp, err = http.Get(base + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path: status %d", resp.StatusCode)
+	}
+}
+
+func TestParallelConnectionsUsed(t *testing.T) {
+	addr := startServer(t)
+	cfg := quickCfg()
+	cfg.Connections = 4
+	c := NewClient(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 4 workers and 1 MiB objects in 300 ms on loopback we must see
+	// several objects' worth of data.
+	if res.BytesDown < 4<<20 {
+		t.Errorf("parallel download moved only %d bytes", res.BytesDown)
+	}
+}
+
+func TestClientErrorPaths(t *testing.T) {
+	c := NewClient(quickCfg())
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if _, err := c.Run(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("refused connection: want error")
+	}
+
+	// A server that 500s the download phase must surface an error.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == LatencyPath {
+			io.WriteString(w, "pong\n")
+			return
+		}
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	if _, err := c.Run(ctx, strings.TrimPrefix(bad.URL, "http://")); err == nil {
+		t.Error("500ing server: want error")
+	}
+}

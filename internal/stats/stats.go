@@ -1,0 +1,381 @@
+// Package stats provides the statistical primitives used throughout CLASP:
+// percentiles, empirical CDFs, Gaussian kernel density estimation, the elbow
+// locator used to pick the congestion threshold H, and streaming moments.
+//
+// All functions are pure and operate on float64 slices. Functions that need
+// sorted input document it; the exported helpers sort defensively on a copy
+// unless noted otherwise.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot operate on empty samples.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks (the same method as numpy's default).
+// It copies and sorts the input.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return PercentileSorted(s, p), nil
+}
+
+// PercentileSorted returns the p-th percentile of an already-sorted sample.
+// Behaviour is undefined for unsorted input. Panics on empty input.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// MinMax returns the minimum and maximum of xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// Variance returns the unbiased sample variance of xs. A single-element
+// sample has zero variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if len(xs) == 1 {
+		return 0, nil
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// CDFPoint is a single point of an empirical cumulative distribution.
+type CDFPoint struct {
+	X float64 // sample value
+	P float64 // cumulative probability in (0, 1]
+}
+
+// CDF returns the empirical CDF of xs as a sorted sequence of points with
+// P(i) = (i+1)/n. Duplicate values are collapsed, keeping the highest
+// cumulative probability.
+func CDF(xs []float64) ([]CDFPoint, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	n := float64(len(s))
+	pts := make([]CDFPoint, 0, len(s))
+	for i, x := range s {
+		p := float64(i+1) / n
+		if len(pts) > 0 && pts[len(pts)-1].X == x {
+			pts[len(pts)-1].P = p
+			continue
+		}
+		pts = append(pts, CDFPoint{X: x, P: p})
+	}
+	return pts, nil
+}
+
+// CDFAt evaluates an empirical CDF (from CDF) at x: the fraction of samples
+// less than or equal to x.
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	// Binary search for the last point with X <= x.
+	lo, hi := 0, len(cdf)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid].X <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return cdf[lo-1].P
+}
+
+// FractionBelow returns the fraction of samples in xs strictly below x.
+func FractionBelow(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// FractionAbove returns the fraction of samples in xs strictly above x.
+func FractionAbove(xs []float64, x float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range xs {
+		if v > x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// KDEPoint is one evaluation point of a kernel density estimate.
+type KDEPoint struct {
+	X       float64
+	Density float64
+}
+
+// KDE computes a Gaussian kernel density estimate of xs, evaluated at points
+// equally spaced between min and max over `points` samples. Bandwidth is
+// chosen by Silverman's rule of thumb when bw <= 0. This mirrors the marginal
+// density curves on the axes of Fig. 4.
+func KDE(xs []float64, points int, bw float64) ([]KDEPoint, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
+	if points < 2 {
+		return nil, errors.New("stats: KDE needs at least 2 evaluation points")
+	}
+	if bw <= 0 {
+		bw = SilvermanBandwidth(xs)
+	}
+	if bw <= 0 { // degenerate sample (all identical)
+		bw = 1
+	}
+	min, max, _ := MinMax(xs)
+	span := max - min
+	if span == 0 {
+		span = 1
+	}
+	lo := min - 3*bw
+	hi := max + 3*bw
+	step := (hi - lo) / float64(points-1)
+	out := make([]KDEPoint, points)
+	norm := 1 / (float64(len(xs)) * bw * math.Sqrt(2*math.Pi))
+	for i := 0; i < points; i++ {
+		x := lo + float64(i)*step
+		d := 0.0
+		for _, xi := range xs {
+			u := (x - xi) / bw
+			d += math.Exp(-0.5 * u * u)
+		}
+		out[i] = KDEPoint{X: x, Density: d * norm}
+	}
+	return out, nil
+}
+
+// SilvermanBandwidth returns Silverman's rule-of-thumb bandwidth:
+// 0.9 * min(sd, IQR/1.34) * n^(-1/5).
+func SilvermanBandwidth(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	sd, _ := StdDev(xs)
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	iqr := PercentileSorted(s, 75) - PercentileSorted(s, 25)
+	a := sd
+	if iqr > 0 && iqr/1.34 < a {
+		a = iqr / 1.34
+	}
+	if a == 0 {
+		a = sd
+	}
+	return 0.9 * a * math.Pow(float64(len(xs)), -0.2)
+}
+
+// Elbow locates the "elbow" of a monotonically decreasing curve y(x) using
+// the maximum-distance-to-chord method: the point farthest from the straight
+// line joining the first and last points. It returns the index of the elbow.
+// This is the method CLASP uses on the congested-fraction-vs-H curve (§3.3)
+// to justify H = 0.5.
+func Elbow(xs, ys []float64) (int, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("stats: elbow requires equal-length xs and ys")
+	}
+	if len(xs) < 3 {
+		return 0, errors.New("stats: elbow requires at least 3 points")
+	}
+	x0, y0 := xs[0], ys[0]
+	x1, y1 := xs[len(xs)-1], ys[len(ys)-1]
+	dx, dy := x1-x0, y1-y0
+	denom := math.Hypot(dx, dy)
+	if denom == 0 {
+		return 0, errors.New("stats: elbow endpoints coincide")
+	}
+	best, bestDist := 0, -1.0
+	for i := range xs {
+		// Perpendicular distance from (xs[i], ys[i]) to the chord.
+		d := math.Abs(dy*xs[i]-dx*ys[i]+x1*y0-y1*x0) / denom
+		if d > bestDist {
+			bestDist = d
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// Welford accumulates streaming mean and variance using Welford's online
+// algorithm. The zero value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of samples seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased running variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the unbiased running standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest sample seen (0 for an empty accumulator).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest sample seen (0 for an empty accumulator).
+func (w *Welford) Max() float64 { return w.max }
+
+// Histogram counts samples into equal-width bins across [lo, hi). Samples
+// outside the range are clamped to the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with n bins over [lo, hi). Panics if
+// n <= 0 or hi <= lo.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: invalid histogram parameters")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(n))
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of samples in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// BinCenter returns the centre value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}

@@ -1,0 +1,366 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPercentileBasic(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20}, {75, 40},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got, err := Percentile(xs, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2.5, 1e-9) {
+		t.Errorf("median of 1..4 = %v, want 2.5", got)
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("empty sample: got %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("p=-1: want error")
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("p=101: want error")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || !almostEqual(m, 5, 1e-9) {
+		t.Errorf("Mean = %v (err %v), want 5", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || !almostEqual(v, 32.0/7.0, 1e-9) {
+		t.Errorf("Variance = %v (err %v), want %v", v, err, 32.0/7.0)
+	}
+	sd, _ := StdDev(xs)
+	if !almostEqual(sd, math.Sqrt(32.0/7.0), 1e-9) {
+		t.Errorf("StdDev = %v", sd)
+	}
+}
+
+func TestVarianceSingleElement(t *testing.T) {
+	v, err := Variance([]float64{42})
+	if err != nil || v != 0 {
+		t.Errorf("Variance single = %v (err %v), want 0", v, err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{5, -2, 9, 0})
+	if err != nil || min != -2 || max != 9 {
+		t.Errorf("MinMax = %v,%v (err %v)", min, max, err)
+	}
+	if _, _, err := MinMax(nil); err != ErrEmpty {
+		t.Errorf("MinMax empty: got %v", err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts, err := CDF([]float64{3, 1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// values 1,2,2,3 → points (1,0.25) (2,0.75) (3,1.0)
+	want := []CDFPoint{{1, 0.25}, {2, 0.75}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("CDF len = %d, want %d (%v)", len(pts), len(want), pts)
+	}
+	for i := range want {
+		if !almostEqual(pts[i].X, want[i].X, 1e-9) || !almostEqual(pts[i].P, want[i].P, 1e-9) {
+			t.Errorf("CDF[%d] = %+v, want %+v", i, pts[i], want[i])
+		}
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	pts, _ := CDF([]float64{1, 2, 3, 4})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := CDFAt(pts, c.x); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestFractions(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if f := FractionBelow(xs, 3); !almostEqual(f, 0.4, 1e-9) {
+		t.Errorf("FractionBelow = %v", f)
+	}
+	if f := FractionAbove(xs, 3); !almostEqual(f, 0.4, 1e-9) {
+		t.Errorf("FractionAbove = %v", f)
+	}
+	if f := FractionBelow(nil, 3); f != 0 {
+		t.Errorf("FractionBelow(nil) = %v", f)
+	}
+}
+
+func TestKDEIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 100
+	}
+	pts, err := KDE(xs, 256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoidal integral should be ~1.
+	integral := 0.0
+	for i := 1; i < len(pts); i++ {
+		integral += (pts[i].Density + pts[i-1].Density) / 2 * (pts[i].X - pts[i-1].X)
+	}
+	if !almostEqual(integral, 1, 0.02) {
+		t.Errorf("KDE integral = %v, want ~1", integral)
+	}
+}
+
+func TestKDEDegenerate(t *testing.T) {
+	pts, err := KDE([]float64{5, 5, 5}, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak should be near x=5.
+	best := pts[0]
+	for _, p := range pts {
+		if p.Density > best.Density {
+			best = p
+		}
+	}
+	if !almostEqual(best.X, 5, 1.5) {
+		t.Errorf("KDE peak at %v, want near 5", best.X)
+	}
+}
+
+func TestKDEErrors(t *testing.T) {
+	if _, err := KDE(nil, 10, 0); err != ErrEmpty {
+		t.Errorf("KDE(nil): %v", err)
+	}
+	if _, err := KDE([]float64{1}, 1, 0); err == nil {
+		t.Error("KDE with 1 point: want error")
+	}
+}
+
+func TestElbowOnKneeCurve(t *testing.T) {
+	// y = 1/x style curve has a clear knee.
+	xs := make([]float64, 0, 50)
+	ys := make([]float64, 0, 50)
+	for i := 1; i <= 50; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 50/x)
+	}
+	idx, err := Elbow(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 3 || idx > 15 {
+		t.Errorf("Elbow index = %d, want a small-x knee", idx)
+	}
+}
+
+func TestElbowErrors(t *testing.T) {
+	if _, err := Elbow([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	if _, err := Elbow([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("too few points: want error")
+	}
+	if _, err := Elbow([]float64{1, 1, 1}, []float64{2, 2, 2}); err == nil {
+		t.Error("coincident endpoints: want error")
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.Float64() * 100
+		w.Add(xs[i])
+	}
+	bm, _ := Mean(xs)
+	bv, _ := Variance(xs)
+	min, max, _ := MinMax(xs)
+	if !almostEqual(w.Mean(), bm, 1e-9) {
+		t.Errorf("Welford mean %v vs batch %v", w.Mean(), bm)
+	}
+	if !almostEqual(w.Variance(), bv, 1e-6) {
+		t.Errorf("Welford var %v vs batch %v", w.Variance(), bv)
+	}
+	if w.Min() != min || w.Max() != max {
+		t.Errorf("Welford min/max %v/%v vs %v/%v", w.Min(), w.Max(), min, max)
+	}
+	if w.N() != 1000 {
+		t.Errorf("Welford N = %d", w.N())
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Error("zero-value Welford should report zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 100} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// bins: [0,2) has -1,0,1.9 = 3; [2,4) has 2; [4,6) has 5; [8,10) has 9.9,10,100 = 3
+	want := []int{3, 1, 1, 0, 3}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if !almostEqual(h.BinCenter(0), 1, 1e-9) {
+		t.Errorf("BinCenter(0) = %v", h.BinCenter(0))
+	}
+	if !almostEqual(h.Fraction(0), 3.0/8.0, 1e-9) {
+		t.Errorf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on invalid histogram")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		min, max, _ := MinMax(xs)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v, err := Percentile(xs, p)
+			if err != nil {
+				return false
+			}
+			if v < prev || v < min-1e-9 || v > max+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CDF is monotone non-decreasing and ends at 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pts, err := CDF(xs)
+		if err != nil {
+			return false
+		}
+		if !sort.SliceIsSorted(pts, func(i, j int) bool { return pts[i].X < pts[j].X }) {
+			return false
+		}
+		prev := 0.0
+		for _, p := range pts {
+			if p.P < prev {
+				return false
+			}
+			prev = p.P
+		}
+		return almostEqual(pts[len(pts)-1].P, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Welford mean always lies within [min, max].
+func TestWelfordBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		var w Welford
+		for _, x := range raw {
+			// Skip values whose differences overflow float64; the
+			// accumulator targets measurement-scale magnitudes.
+			if math.IsNaN(x) || math.Abs(x) > 1e150 {
+				continue
+			}
+			w.Add(x)
+		}
+		if w.N() == 0 {
+			return true
+		}
+		return w.Mean() >= w.Min()-1e-9 && w.Mean() <= w.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

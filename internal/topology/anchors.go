@@ -1,0 +1,123 @@
+package topology
+
+// Anchor ASes: networks the paper names explicitly, with ASNs and behaviour
+// taken from §4.2 and Fig. 6. Generated ASes fill in the rest of the graph
+// around these.
+
+// cloudASN is the measured cloud provider (Google, AS 15169).
+const cloudASN ASN = 15169
+
+// anchorSpec seeds a named AS before procedural generation.
+type anchorSpec struct {
+	asn        ASN
+	name       string
+	typ        ASType
+	country    string
+	cities     []string
+	biz        BusinessType
+	congestion CongestionProfile
+	// directPeer forces a direct interconnection with the cloud.
+	directPeer bool
+}
+
+// tier1Anchors are the settlement-free backbone carriers. Cogent (AS174) is
+// called out in §4.2: two test servers with Cogent IPs showed congestion in
+// the 7-11 pm FCC peak window.
+var tier1Anchors = []anchorSpec{
+	{asn: 174, name: "Cogent", typ: TypeTier1, country: "US", biz: BizISP,
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 21, PeakDepth: 0.62, LossAtPeak: 0.04}},
+	{asn: 3356, name: "Lumen", typ: TypeTier1, country: "US", biz: BizISP,
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.12}},
+	{asn: 1299, name: "Telia", typ: TypeTier1, country: "SE", biz: BizISP,
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.10}},
+	{asn: 2914, name: "NTT", typ: TypeTier1, country: "JP", biz: BizISP,
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.10}},
+	{asn: 3257, name: "GTT", typ: TypeTier1, country: "US", biz: BizISP,
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.15}},
+	{asn: 6461, name: "Zayo", typ: TypeTier1, country: "US", biz: BizISP,
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.12}},
+	{asn: 6453, name: "TATA", typ: TypeTier1, country: "IN", biz: BizISP,
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.14}},
+	{asn: 701, name: "Verizon", typ: TypeTier1, country: "US", biz: BizISP,
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.12}},
+}
+
+// accessAnchors are the access ISPs named in the paper's congestion
+// analysis (§4.2, Fig. 6a/6b).
+var accessAnchors = []anchorSpec{
+	// Cox: three test servers in Southern California and Nevada showed
+	// daytime congestion with reverse-path loss rising from 3 % to >50 %.
+	{asn: 22773, name: "Cox", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"Las Vegas", "San Diego", "Phoenix", "Henderson", "Irvine", "Santa Ana", "Tulsa", "New Orleans", "Virginia Beach", "Wichita"},
+		congestion: CongestionProfile{Prone: true, Daytime: true, PeakHourLocal: 13, PeakDepth: 0.72, LossAtPeak: 0.5}},
+	{asn: 7922, name: "Comcast", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"Philadelphia", "Chicago", "Denver", "Seattle", "San Francisco", "Houston", "Atlanta", "Boston", "Miami", "Portland", "Sacramento", "Salt Lake City", "Indianapolis", "Nashville", "Pittsburgh"},
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.25}},
+	{asn: 20115, name: "Charter", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"St. Louis", "Charlotte", "Los Angeles", "Dallas", "Austin", "Columbus", "Milwaukee", "Rochester", "Birmingham", "Madison"},
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.3}},
+	{asn: 7018, name: "ATT", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"Dallas", "Atlanta", "Chicago", "Los Angeles", "Miami", "San Antonio", "Detroit", "Cleveland", "Oklahoma City", "Memphis"},
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.2}},
+	{asn: 209, name: "CenturyLink", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"Denver", "Phoenix", "Seattle", "Minneapolis", "Omaha", "Boise", "Albuquerque", "Tucson"},
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.28}},
+	{asn: 5650, name: "Frontier", typ: TypeAccess, country: "US", biz: BizISP,
+		cities:     []string{"Tampa", "Fort Wayne", "Bakersfield", "Durham", "Provo"},
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 21, PeakDepth: 0.55, LossAtPeak: 0.06}},
+	// Suddenlink (AS19108): evening-peak congestion upticks (us-west1).
+	{asn: 19108, name: "Suddenlink", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"Lubbock", "Amarillo", "Shreveport", "Little Rock", "Flagstaff"},
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 21, PeakDepth: 0.68, LossAtPeak: 0.12}},
+	// unWired Broadband (AS33548): California WISP, evening congestion.
+	{asn: 33548, name: "unWired Broadband", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"Fresno", "Bakersfield", "Stockton"},
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 20, PeakDepth: 0.7, LossAtPeak: 0.1}},
+	// Smarterbroadband (AS46276): degraded throughout the day, 10am-8pm
+	// (its us-east1 path exits at Equinix San Jose and crosses the country).
+	{asn: 46276, name: "Smarterbroadband", typ: TypeAccess, country: "US", biz: BizISP, directPeer: true,
+		cities:     []string{"Grass Valley"},
+		congestion: CongestionProfile{Prone: true, Daytime: true, PeakHourLocal: 15, PeakDepth: 0.75, LossAtPeak: 0.2}},
+	{asn: 30036, name: "Mediacom", typ: TypeAccess, country: "US", biz: BizISP,
+		cities:     []string{"Des Moines", "Council Bluffs", "Sioux Falls"},
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 21, PeakDepth: 0.6, LossAtPeak: 0.05}},
+	{asn: 11492, name: "CableOne", typ: TypeAccess, country: "US", biz: BizISP,
+		cities:     []string{"Boise", "Fargo", "Billings"},
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.35}},
+	{asn: 12083, name: "WOW", typ: TypeAccess, country: "US", biz: BizISP,
+		cities:     []string{"Detroit", "Columbus", "Knoxville"},
+		congestion: CongestionProfile{PeakHourLocal: 21, PeakDepth: 0.3}},
+}
+
+// intlAnchors are the international networks from the europe-west1
+// differential experiment (Fig. 6c): two Indian ISPs and Telstra showed more
+// congestion on the standard tier.
+var intlAnchors = []anchorSpec{
+	{asn: 1221, name: "Telstra", typ: TypeAccess, country: "AU", biz: BizISP, directPeer: true,
+		cities:     []string{"Sydney", "Melbourne", "Brisbane", "Perth"},
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 21, PeakDepth: 0.55, LossAtPeak: 0.05}},
+	{asn: 136334, name: "Vortex Netsol", typ: TypeAccess, country: "IN", biz: BizISP,
+		cities:     []string{"Mumbai", "Delhi"},
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 22, PeakDepth: 0.65, LossAtPeak: 0.08}},
+	{asn: 45194, name: "Joister Broadband", typ: TypeAccess, country: "IN", biz: BizISP,
+		cities:     []string{"Mumbai", "Delhi", "Bangalore"},
+		congestion: CongestionProfile{Prone: true, PeakHourLocal: 22, PeakDepth: 0.6, LossAtPeak: 0.07}},
+}
+
+// hubCities are the interconnection hub metros where most cloud facilities
+// concentrate (Equinix-style). Egress engineering collapses most
+// server-bound traffic onto links in these hubs, which is why ~1.3k servers
+// traverse only 100-350 distinct interdomain links (Table 1).
+var hubCities = []string{
+	"San Jose", "Los Angeles", "Seattle", "Dallas", "Chicago",
+	"Ashburn", "New York", "Miami", "Atlanta", "Denver",
+	"Las Vegas", "Kansas City",
+}
+
+// intlHubCities extends the hub list for the europe-west1 region and the
+// differential method's global servers.
+var intlHubCities = []string{
+	"Brussels", "Amsterdam", "London", "Frankfurt", "Paris",
+	"Madrid", "Milan", "Stockholm", "Warsaw",
+	"Mumbai", "Singapore", "Sydney", "Tokyo", "Sao Paulo", "Toronto",
+}

@@ -1,0 +1,391 @@
+// Package tsdb is the time-series store behind CLASP's data pipeline,
+// standing in for InfluxDB: an in-memory series store with tagged points,
+// an InfluxDB-style line protocol for persistence, time-range and tag
+// queries, and time-bucketed aggregation for the hourly/daily rollups the
+// congestion analysis consumes.
+package tsdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tags are the indexed dimensions of a series (server, region, tier,
+// direction, ...). Values must not contain spaces or commas.
+type Tags map[string]string
+
+// canonical renders tags in sorted key=value form.
+func (t Tags) canonical() string {
+	keys := make([]string, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteByte(',')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(t[k])
+	}
+	return b.String()
+}
+
+// Point is one timestamped observation with float fields.
+type Point struct {
+	Time   time.Time
+	Fields map[string]float64
+}
+
+// Series is an ordered sequence of points for one measurement+tags.
+type Series struct {
+	Measurement string
+	Tags        Tags
+	Points      []Point // kept sorted by time
+}
+
+// Store is a thread-safe collection of series.
+type Store struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string]*Series)}
+}
+
+func seriesKey(measurement string, tags Tags) string {
+	return measurement + tags.canonical()
+}
+
+func validateIdent(s string) error {
+	if s == "" {
+		return fmt.Errorf("tsdb: empty identifier")
+	}
+	if strings.ContainsAny(s, " ,=\n") {
+		return fmt.Errorf("tsdb: identifier %q contains reserved characters", s)
+	}
+	return nil
+}
+
+// Insert adds a point. Fields are copied.
+func (s *Store) Insert(measurement string, tags Tags, at time.Time, fields map[string]float64) error {
+	if err := validateIdent(measurement); err != nil {
+		return err
+	}
+	for k, v := range tags {
+		if err := validateIdent(k); err != nil {
+			return err
+		}
+		if err := validateIdent(v); err != nil {
+			return err
+		}
+	}
+	if len(fields) == 0 {
+		return fmt.Errorf("tsdb: point without fields")
+	}
+	for k := range fields {
+		if err := validateIdent(k); err != nil {
+			return err
+		}
+	}
+	cp := make(map[string]float64, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	key := seriesKey(measurement, tags)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.series[key]
+	if sr == nil {
+		tcp := make(Tags, len(tags))
+		for k, v := range tags {
+			tcp[k] = v
+		}
+		sr = &Series{Measurement: measurement, Tags: tcp}
+		s.series[key] = sr
+	}
+	p := Point{Time: at, Fields: cp}
+	// Fast path: append in time order.
+	if n := len(sr.Points); n == 0 || !at.Before(sr.Points[n-1].Time) {
+		sr.Points = append(sr.Points, p)
+		return nil
+	}
+	idx := sort.Search(len(sr.Points), func(i int) bool { return sr.Points[i].Time.After(at) })
+	sr.Points = append(sr.Points, Point{})
+	copy(sr.Points[idx+1:], sr.Points[idx:])
+	sr.Points[idx] = p
+	return nil
+}
+
+// SeriesCount returns the number of distinct series.
+func (s *Store) SeriesCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series)
+}
+
+// Query selects points from series of a measurement whose tags match all
+// entries of `match` (empty matches everything) within [from, to).
+// Zero times disable that bound. Results are grouped per series, sorted by
+// series key.
+func (s *Store) Query(measurement string, match Tags, from, to time.Time) []Series {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0)
+	for k, sr := range s.series {
+		if sr.Measurement != measurement {
+			continue
+		}
+		ok := true
+		for mk, mv := range match {
+			if sr.Tags[mk] != mv {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var out []Series
+	for _, k := range keys {
+		sr := s.series[k]
+		var pts []Point
+		for _, p := range sr.Points {
+			if !from.IsZero() && p.Time.Before(from) {
+				continue
+			}
+			if !to.IsZero() && !p.Time.Before(to) {
+				continue
+			}
+			pts = append(pts, p)
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, Series{Measurement: sr.Measurement, Tags: sr.Tags, Points: pts})
+	}
+	return out
+}
+
+// FieldValues flattens a queried series list into the values of one field.
+func FieldValues(series []Series, field string) []float64 {
+	var out []float64
+	for _, sr := range series {
+		for _, p := range sr.Points {
+			if v, ok := p.Fields[field]; ok {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Aggregator reduces a bucket of values to one value.
+type Aggregator func([]float64) float64
+
+// Built-in aggregators.
+var (
+	AggMean Aggregator = func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	AggMax Aggregator = func(xs []float64) float64 {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x > m {
+				m = x
+			}
+		}
+		return m
+	}
+	AggMin Aggregator = func(xs []float64) float64 {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	}
+)
+
+// AggPercentile returns an aggregator for the p-th percentile (0-100),
+// linearly interpolated — the rollup behind the paper's p95/p5 plots.
+func AggPercentile(p float64) Aggregator {
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	return func(xs []float64) float64 {
+		s := make([]float64, len(xs))
+		copy(s, xs)
+		sort.Float64s(s)
+		if len(s) == 1 {
+			return s[0]
+		}
+		rank := p / 100 * float64(len(s)-1)
+		lo := int(rank)
+		frac := rank - float64(lo)
+		if lo+1 >= len(s) {
+			return s[len(s)-1]
+		}
+		return s[lo]*(1-frac) + s[lo+1]*frac
+	}
+}
+
+// Bucket is one aggregated time window.
+type Bucket struct {
+	Start time.Time
+	Value float64
+	N     int
+}
+
+// GroupByTime buckets one series' field by window and aggregates each
+// bucket. Buckets align to the Unix epoch.
+func GroupByTime(sr Series, field string, window time.Duration, agg Aggregator) []Bucket {
+	if window <= 0 || agg == nil {
+		return nil
+	}
+	byStart := make(map[int64][]float64)
+	for _, p := range sr.Points {
+		v, ok := p.Fields[field]
+		if !ok {
+			continue
+		}
+		start := p.Time.Unix() - p.Time.Unix()%int64(window.Seconds())
+		byStart[start] = append(byStart[start], v)
+	}
+	starts := make([]int64, 0, len(byStart))
+	for s := range byStart {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]Bucket, 0, len(starts))
+	for _, st := range starts {
+		xs := byStart[st]
+		out = append(out, Bucket{Start: time.Unix(st, 0).UTC(), Value: agg(xs), N: len(xs)})
+	}
+	return out
+}
+
+// --- Line protocol -------------------------------------------------------------
+
+// WriteTo serialises the store in InfluxDB line protocol, sorted by series
+// key then time.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	keys := make([]string, 0, len(s.series))
+	for k := range s.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	bw := bufio.NewWriter(w)
+	var n int64
+	for _, k := range keys {
+		sr := s.series[k]
+		for _, p := range sr.Points {
+			fields := make([]string, 0, len(p.Fields))
+			for fk := range p.Fields {
+				fields = append(fields, fk)
+			}
+			sort.Strings(fields)
+			var fb strings.Builder
+			for i, fk := range fields {
+				if i > 0 {
+					fb.WriteByte(',')
+				}
+				fmt.Fprintf(&fb, "%s=%s", fk, strconv.FormatFloat(p.Fields[fk], 'g', -1, 64))
+			}
+			c, err := fmt.Fprintf(bw, "%s%s %s %d\n", sr.Measurement, sr.Tags.canonical(), fb.String(), p.Time.UnixNano())
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses line protocol into a new store.
+func Read(r io.Reader) (*Store, error) {
+	s := NewStore()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		measurement, tags, fields, ts, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: line %d: %w", lineNo, err)
+		}
+		if err := s.Insert(measurement, tags, ts, fields); err != nil {
+			return nil, fmt.Errorf("tsdb: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseLine parses one line-protocol record:
+// measurement[,tag=value...] field=value[,field=value...] [timestamp_ns]
+func ParseLine(line string) (measurement string, tags Tags, fields map[string]float64, ts time.Time, err error) {
+	parts := strings.Fields(line)
+	if len(parts) < 2 || len(parts) > 3 {
+		return "", nil, nil, time.Time{}, fmt.Errorf("want 2-3 space-separated sections, got %d", len(parts))
+	}
+	head := strings.Split(parts[0], ",")
+	measurement = head[0]
+	if measurement == "" {
+		return "", nil, nil, time.Time{}, fmt.Errorf("empty measurement")
+	}
+	tags = make(Tags)
+	for _, kv := range head[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" || v == "" {
+			return "", nil, nil, time.Time{}, fmt.Errorf("bad tag %q", kv)
+		}
+		tags[k] = v
+	}
+	fields = make(map[string]float64)
+	for _, kv := range strings.Split(parts[1], ",") {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", nil, nil, time.Time{}, fmt.Errorf("bad field %q", kv)
+		}
+		f, perr := strconv.ParseFloat(v, 64)
+		if perr != nil {
+			return "", nil, nil, time.Time{}, fmt.Errorf("bad field value %q", v)
+		}
+		fields[k] = f
+	}
+	if len(parts) == 3 {
+		ns, perr := strconv.ParseInt(parts[2], 10, 64)
+		if perr != nil {
+			return "", nil, nil, time.Time{}, fmt.Errorf("bad timestamp %q", parts[2])
+		}
+		ts = time.Unix(0, ns).UTC()
+	}
+	return measurement, tags, fields, ts, nil
+}

@@ -1,0 +1,272 @@
+package tsdb
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func TestInsertAndQuery(t *testing.T) {
+	s := NewStore()
+	tags := Tags{"server": "42", "region": "us-west1", "dir": "down"}
+	for h := 0; h < 24; h++ {
+		err := s.Insert("throughput", tags, t0.Add(time.Duration(h)*time.Hour),
+			map[string]float64{"mbps": float64(100 + h), "rtt_ms": 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.SeriesCount() != 1 {
+		t.Errorf("series = %d", s.SeriesCount())
+	}
+	got := s.Query("throughput", Tags{"server": "42"}, time.Time{}, time.Time{})
+	if len(got) != 1 || len(got[0].Points) != 24 {
+		t.Fatalf("query returned %d series", len(got))
+	}
+	// Time-range restriction.
+	got = s.Query("throughput", nil, t0.Add(6*time.Hour), t0.Add(12*time.Hour))
+	if len(got) != 1 || len(got[0].Points) != 6 {
+		t.Fatalf("range query points = %v", got)
+	}
+	if got[0].Points[0].Fields["mbps"] != 106 {
+		t.Errorf("first point = %v", got[0].Points[0])
+	}
+	// Mismatch returns nothing.
+	if r := s.Query("throughput", Tags{"server": "43"}, time.Time{}, time.Time{}); len(r) != 0 {
+		t.Error("tag mismatch returned series")
+	}
+	if r := s.Query("latency", nil, time.Time{}, time.Time{}); len(r) != 0 {
+		t.Error("wrong measurement returned series")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Insert("", nil, t0, map[string]float64{"x": 1}); err == nil {
+		t.Error("empty measurement accepted")
+	}
+	if err := s.Insert("m", Tags{"bad key": "v"}, t0, map[string]float64{"x": 1}); err == nil {
+		t.Error("space in tag key accepted")
+	}
+	if err := s.Insert("m", Tags{"k": "a,b"}, t0, map[string]float64{"x": 1}); err == nil {
+		t.Error("comma in tag value accepted")
+	}
+	if err := s.Insert("m", nil, t0, nil); err == nil {
+		t.Error("fieldless point accepted")
+	}
+}
+
+func TestOutOfOrderInsertKeptSorted(t *testing.T) {
+	s := NewStore()
+	times := []int{5, 1, 3, 2, 4, 0}
+	for _, h := range times {
+		s.Insert("m", nil, t0.Add(time.Duration(h)*time.Hour), map[string]float64{"v": float64(h)})
+	}
+	got := s.Query("m", nil, time.Time{}, time.Time{})[0]
+	for i := 1; i < len(got.Points); i++ {
+		if got.Points[i].Time.Before(got.Points[i-1].Time) {
+			t.Fatalf("points not sorted: %v", got.Points)
+		}
+	}
+	if got.Points[0].Fields["v"] != 0 || got.Points[5].Fields["v"] != 5 {
+		t.Error("sorted values wrong")
+	}
+}
+
+func TestSeparateSeriesPerTagSet(t *testing.T) {
+	s := NewStore()
+	s.Insert("m", Tags{"a": "1"}, t0, map[string]float64{"v": 1})
+	s.Insert("m", Tags{"a": "2"}, t0, map[string]float64{"v": 2})
+	s.Insert("m", Tags{"a": "1", "b": "x"}, t0, map[string]float64{"v": 3})
+	if s.SeriesCount() != 3 {
+		t.Errorf("series = %d, want 3", s.SeriesCount())
+	}
+	if got := s.Query("m", Tags{"a": "1"}, time.Time{}, time.Time{}); len(got) != 2 {
+		t.Errorf("partial tag match returned %d series", len(got))
+	}
+}
+
+func TestFieldValues(t *testing.T) {
+	s := NewStore()
+	s.Insert("m", Tags{"a": "1"}, t0, map[string]float64{"v": 1})
+	s.Insert("m", Tags{"a": "2"}, t0, map[string]float64{"v": 2, "w": 9})
+	vals := FieldValues(s.Query("m", nil, time.Time{}, time.Time{}), "v")
+	if len(vals) != 2 {
+		t.Errorf("FieldValues = %v", vals)
+	}
+	if len(FieldValues(s.Query("m", nil, time.Time{}, time.Time{}), "nope")) != 0 {
+		t.Error("missing field returned values")
+	}
+}
+
+func TestGroupByTime(t *testing.T) {
+	s := NewStore()
+	// Two points per hour for 4 hours.
+	for h := 0; h < 4; h++ {
+		for m := 0; m < 2; m++ {
+			s.Insert("m", nil, t0.Add(time.Duration(h)*time.Hour+time.Duration(m*20)*time.Minute),
+				map[string]float64{"v": float64(h*10 + m)})
+		}
+	}
+	sr := s.Query("m", nil, time.Time{}, time.Time{})[0]
+	buckets := GroupByTime(sr, "v", time.Hour, AggMax)
+	if len(buckets) != 4 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	for i, b := range buckets {
+		if b.N != 2 {
+			t.Errorf("bucket %d N = %d", i, b.N)
+		}
+		if b.Value != float64(i*10+1) {
+			t.Errorf("bucket %d max = %v", i, b.Value)
+		}
+	}
+	// Mean and min aggregators.
+	if b := GroupByTime(sr, "v", time.Hour, AggMean); b[0].Value != 0.5 {
+		t.Errorf("mean = %v", b[0].Value)
+	}
+	if b := GroupByTime(sr, "v", time.Hour, AggMin); b[3].Value != 30 {
+		t.Errorf("min = %v", b[3].Value)
+	}
+	if GroupByTime(sr, "v", 0, AggMean) != nil {
+		t.Error("zero window should return nil")
+	}
+}
+
+func TestLineProtocolRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Insert("throughput", Tags{"server": "7", "tier": "premium"}, t0, map[string]float64{"mbps": 312.25, "loss": 0.001})
+	s.Insert("throughput", Tags{"server": "7", "tier": "standard"}, t0.Add(time.Hour), map[string]float64{"mbps": 355})
+	s.Insert("latency", nil, t0, map[string]float64{"rtt_ms": 42.5})
+
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SeriesCount() != 3 {
+		t.Fatalf("round trip series = %d", got.SeriesCount())
+	}
+	q := got.Query("throughput", Tags{"tier": "premium"}, time.Time{}, time.Time{})
+	if len(q) != 1 || q[0].Points[0].Fields["mbps"] != 312.25 || q[0].Points[0].Fields["loss"] != 0.001 {
+		t.Errorf("round trip lost data: %+v", q)
+	}
+	if !q[0].Points[0].Time.Equal(t0) {
+		t.Errorf("timestamp = %v", q[0].Points[0].Time)
+	}
+	// Serialisation is canonical: write(read(x)) == x.
+	var buf2 bytes.Buffer
+	got.WriteTo(&buf2)
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("serialisation not canonical")
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"onlymeasurement",
+		"m,badtag v=1",
+		"m v=notafloat",
+		"m v=1 notatimestamp",
+		"m v=1 1 2 3",
+		",empty v=1",
+	}
+	for _, line := range bad {
+		if line == "" {
+			continue
+		}
+		if _, _, _, _, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q): want error", line)
+		}
+	}
+	// Timestampless line is valid.
+	m, tags, fields, ts, err := ParseLine("cpu,host=a util=0.5")
+	if err != nil || m != "cpu" || tags["host"] != "a" || fields["util"] != 0.5 || !ts.IsZero() {
+		t.Errorf("ParseLine = %v %v %v %v %v", m, tags, fields, ts, err)
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	src := "# header\n\ncpu util=1 1000\n"
+	s, err := Read(bytes.NewReader([]byte(src)))
+	if err != nil || s.SeriesCount() != 1 {
+		t.Errorf("Read with comments: %v, series %d", err, s.SeriesCount())
+	}
+}
+
+// Property: random stores round-trip through the line protocol.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		for i := 0; i < 30; i++ {
+			tags := Tags{"s": string(rune('a' + rng.Intn(5)))}
+			at := t0.Add(time.Duration(rng.Intn(1000)) * time.Minute)
+			s.Insert("m", tags, at, map[string]float64{"v": rng.Float64() * 1000})
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		var buf2 bytes.Buffer
+		if _, err := got.WriteTo(&buf2); err != nil {
+			return false
+		}
+		return bytes.Equal(buf.Bytes(), buf2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggPercentile(t *testing.T) {
+	agg := AggPercentile(95)
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	got := agg(xs)
+	if got < 9.5 || got > 10 {
+		t.Errorf("p95 = %v", got)
+	}
+	if v := AggPercentile(0)(xs); v != 1 {
+		t.Errorf("p0 = %v", v)
+	}
+	if v := AggPercentile(100)(xs); v != 10 {
+		t.Errorf("p100 = %v", v)
+	}
+	if v := AggPercentile(50)([]float64{7}); v != 7 {
+		t.Errorf("single-sample median = %v", v)
+	}
+	// Out-of-range percentiles clamp.
+	if v := AggPercentile(-5)(xs); v != 1 {
+		t.Errorf("clamped low = %v", v)
+	}
+	if v := AggPercentile(200)(xs); v != 10 {
+		t.Errorf("clamped high = %v", v)
+	}
+}
+
+func TestGroupByTimeWithPercentile(t *testing.T) {
+	s := NewStore()
+	for m := 0; m < 60; m++ {
+		s.Insert("tput", nil, t0.Add(time.Duration(m)*time.Minute), map[string]float64{"mbps": float64(m)})
+	}
+	sr := s.Query("tput", nil, time.Time{}, time.Time{})[0]
+	buckets := GroupByTime(sr, "mbps", time.Hour, AggPercentile(95))
+	if len(buckets) != 1 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Value < 55 || buckets[0].Value > 59 {
+		t.Errorf("hourly p95 = %v", buckets[0].Value)
+	}
+}
