@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+# ci is the gate for every change: tier-1 build + tests, static checks,
+# and the full suite under the race detector.
+ci: build test vet race

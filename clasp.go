@@ -51,6 +51,10 @@ type Options struct {
 	Scale float64
 	// PaperScale overrides Scale with the full paper-scale topology.
 	PaperScale bool
+	// Parallelism bounds the concurrent VM workers per campaign round.
+	// 0 or 1 runs sequentially; any value yields identical results for
+	// the same seed (the engine's determinism guarantee).
+	Parallelism int
 }
 
 // Platform is a fully wired CLASP instance over the simulated Internet and
@@ -68,7 +72,7 @@ func New(opts Options) (*Platform, error) {
 	if scale == 0 {
 		scale = 0.25
 	}
-	eng, err := core.New(core.Options{Seed: opts.Seed, Scale: scale})
+	eng, err := core.New(core.Options{Seed: opts.Seed, Scale: scale, Parallelism: opts.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("clasp: %w", err)
 	}
@@ -97,6 +101,15 @@ type CampaignResult = core.CampaignResult
 // virtual time.
 func (p *Platform) RunTopologyCampaign(region string, days int) (*CampaignResult, error) {
 	res, _, err := p.engine.RunTopologyCampaign(region, days)
+	return res, err
+}
+
+// RunTopologyCampaigns runs the topology-based campaign in several regions
+// concurrently, one goroutine per region over the shared substrate — the
+// paper's actual deployment shape. Per-region results are identical to
+// running each campaign alone with the same seed.
+func (p *Platform) RunTopologyCampaigns(regions []string, days int) (map[string]*CampaignResult, error) {
+	res, _, err := p.engine.RunTopologyCampaigns(regions, days)
 	return res, err
 }
 

@@ -15,11 +15,13 @@
 //
 // Flags:
 //
-//	-seed N      simulation seed (default 1)
-//	-scale F     topology scale, 1.0 = paper scale (default 0.25)
-//	-days N      campaign length in virtual days (default 30)
-//	-samples N   differential-scan minimum tuple samples (default scales
-//	             with the topology)
+//	-seed N         simulation seed (default 1)
+//	-scale F        topology scale, 1.0 = paper scale (default 0.25)
+//	-days N         campaign length in virtual days (default 30)
+//	-samples N      differential-scan minimum tuple samples (default scales
+//	                with the topology)
+//	-parallelism N  concurrent VM workers per campaign round (default 1;
+//	                results are identical at any value for the same seed)
 package main
 
 import (
@@ -53,6 +55,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.25, "topology scale (1.0 = paper scale)")
 	days := fs.Int("days", 30, "campaign length in virtual days")
 	samples := fs.Int("samples", 0, "differential-scan minimum tuple samples")
+	parallelism := fs.Int("parallelism", 1, "concurrent VM workers per campaign round")
 
 	// Subcommand positional arguments come before flags.
 	var positional []string
@@ -72,7 +75,7 @@ func run(args []string) error {
 		}
 	}
 
-	p, err := clasp.New(clasp.Options{Seed: *seed, Scale: *scale})
+	p, err := clasp.New(clasp.Options{Seed: *seed, Scale: *scale, Parallelism: *parallelism})
 	if err != nil {
 		return err
 	}
@@ -120,10 +123,9 @@ func run(args []string) error {
 		return nil
 
 	case "costs":
-		for _, region := range core.TopologyRegions {
-			if _, err := p.RunTopologyCampaign(region, 7); err != nil {
-				return err
-			}
+		// All regions measure concurrently, like the real deployment.
+		if _, err := p.RunTopologyCampaigns(core.TopologyRegions, 7); err != nil {
+			return err
 		}
 		egress, storage, compute := p.Costs()
 		fmt.Fprintf(out, "Simulated 7-day all-region bill:\n")

@@ -4,6 +4,11 @@
 // (asymmetric tc caps, per-region VM counts, one storage bucket colocated
 // with the analysis VM) are all driven by the cost model this package
 // implements.
+//
+// Platform and Bucket are safe for concurrent use: VM lifecycle, bucket
+// operations, and the egress/compute/storage accounting are all guarded by
+// internal mutexes, so concurrent regional campaigns can share one
+// Platform and one artifact Bucket.
 package cloud
 
 import (

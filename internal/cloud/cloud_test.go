@@ -1,6 +1,8 @@
 package cloud
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -187,6 +189,46 @@ func TestAccrueVMHours(t *testing.T) {
 	want := 10 * 24 * N1Standard2.HourlyUSD
 	if c.ComputeUSD < want*0.99 || c.ComputeUSD > want*1.01 {
 		t.Errorf("compute = %v, want %v", c.ComputeUSD, want)
+	}
+}
+
+// TestConcurrentAccounting exercises the billing and bucket paths from many
+// goroutines at once; -race verifies the locking, the final sums verify no
+// update was dropped.
+func TestConcurrentAccounting(t *testing.T) {
+	p := setup(t)
+	b, err := p.CreateBucket("data", "us-east1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, ops = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				p.RecordEgress(bgp.Premium, 1e9)
+				p.AccrueVMHours(1, time.Hour, N1Standard2)
+				key := fmt.Sprintf("g%d/obj%d", g, i)
+				b.Put(key, []byte("x"), t0)
+				b.Get(key)
+				p.Costs()
+			}
+		}(g)
+	}
+	wg.Wait()
+	c := p.Costs()
+	wantEgress := float64(goroutines*ops) * 0.11 // 1 GB premium per op
+	if c.EgressUSD < wantEgress*0.999 || c.EgressUSD > wantEgress*1.001 {
+		t.Errorf("egress = %v, want ~%v", c.EgressUSD, wantEgress)
+	}
+	wantCompute := float64(goroutines*ops) * N1Standard2.HourlyUSD
+	if c.ComputeUSD < wantCompute*0.999 || c.ComputeUSD > wantCompute*1.001 {
+		t.Errorf("compute = %v, want ~%v", c.ComputeUSD, wantCompute)
+	}
+	if got := len(b.List("")); got != goroutines*ops {
+		t.Errorf("bucket objects = %d, want %d", got, goroutines*ops)
 	}
 }
 

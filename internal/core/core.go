@@ -61,6 +61,10 @@ type Options struct {
 	TopoConfig *topology.Config
 	// SimConfig overrides the simulator calibration.
 	SimConfig *netsim.Config
+	// Parallelism bounds the concurrent VM workers per campaign round
+	// (see orchestrator.Config.Parallelism). 0 or 1 runs sequentially;
+	// results are identical at any value.
+	Parallelism int
 }
 
 // CLASP is a fully wired platform instance.
@@ -221,12 +225,13 @@ func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []b
 		sinks = append(sinks, &orchestrator.StoreSink{Store: c.Store})
 	}
 	rep, err := orch.Run(orchestrator.Config{
-		Region:  region,
-		Servers: servers,
-		Tiers:   tiers,
-		Start:   CampaignStart,
-		Days:    days,
-		Seed:    c.Opts.Seed,
+		Region:      region,
+		Servers:     servers,
+		Tiers:       tiers,
+		Start:       CampaignStart,
+		Days:        days,
+		Seed:        c.Opts.Seed,
+		Parallelism: c.Opts.Parallelism,
 	}, sinks)
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign in %s: %w", region, err)

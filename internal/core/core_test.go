@@ -295,6 +295,42 @@ func TestComputeHeadlines(t *testing.T) {
 	}
 }
 
+func TestRunTopologyCampaignsMatchesIndividual(t *testing.T) {
+	regions := []string{"us-west1", "us-central1"}
+	// Concurrent multi-region run at parallelism 3.
+	par, err := New(Options{Seed: 3, Scale: 0.1, Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, sels, err := par.RunTopologyCampaigns(regions, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential single-region runs on a fresh instance, same seed.
+	seq := newCLASP(t)
+	for _, region := range regions {
+		want, _, err := seq.RunTopologyCampaign(region, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := results[region]
+		if got == nil || sels[region] == nil {
+			t.Fatalf("region %s missing from concurrent results", region)
+		}
+		if len(got.Records) != len(want.Records) {
+			t.Fatalf("%s: %d records, want %d", region, len(got.Records), len(want.Records))
+		}
+		for i := range got.Records {
+			if got.Records[i] != want.Records[i] {
+				t.Fatalf("%s: record %d = %+v, want %+v", region, i, got.Records[i], want.Records[i])
+			}
+		}
+		if got.Report.Tests != want.Report.Tests || got.Report.VMs != want.Report.VMs {
+			t.Errorf("%s: report %+v, want %+v", region, got.Report, want.Report)
+		}
+	}
+}
+
 func TestDefaultThresholdGrid(t *testing.T) {
 	hs := DefaultThresholdGrid()
 	if len(hs) != 21 || hs[0] != 0 || hs[20] != 1 {

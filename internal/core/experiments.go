@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/analysis"
@@ -13,6 +14,56 @@ import (
 	"github.com/clasp-measurement/clasp/internal/stats"
 	"github.com/clasp-measurement/clasp/internal/topology"
 )
+
+// --- Multi-region campaigns ----------------------------------------------------
+
+// RunTopologyCampaigns runs the topology-based campaign in several regions
+// concurrently — the deployment shape of the paper, where all regions
+// measured in parallel for the whole window. Server selection stays
+// sequential (the pilot scans share bdrmap/alias state); the campaigns then
+// fan out one goroutine per region over the shared, thread-safe platform,
+// bucket and store. Each region's records are identical to running its
+// campaign alone with the same seed.
+func (c *CLASP) RunTopologyCampaigns(regions []string, days int) (map[string]*CampaignResult, map[string]*selection.TopoResult, error) {
+	type plan struct {
+		region  string
+		sel     *selection.TopoResult
+		servers []*topology.Server
+	}
+	plans := make([]plan, 0, len(regions))
+	for _, region := range regions {
+		sel, err := c.SelectTopologyServers(region)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: topology selection in %s: %w", region, err)
+		}
+		servers := make([]*topology.Server, 0, len(sel.Selected))
+		for _, s := range sel.Selected {
+			servers = append(servers, s.Server)
+		}
+		plans = append(plans, plan{region: region, sel: sel, servers: servers})
+	}
+	results := make([]*CampaignResult, len(plans))
+	errs := make([]error, len(plans))
+	var wg sync.WaitGroup
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.runCampaign(plans[i].region, plans[i].servers, []bgp.Tier{bgp.Premium}, days)
+		}(i)
+	}
+	wg.Wait()
+	out := make(map[string]*CampaignResult, len(plans))
+	sels := make(map[string]*selection.TopoResult, len(plans))
+	for i, p := range plans {
+		if errs[i] != nil {
+			return nil, nil, errs[i]
+		}
+		out[p.region] = results[i]
+		sels[p.region] = p.sel
+	}
+	return out, sels, nil
+}
 
 // --- Table 1 -------------------------------------------------------------------
 

@@ -6,6 +6,14 @@
 //
 // Everything is deterministic in the seed: a measurement at (server,
 // region, tier, direction, time) always yields the same result.
+//
+// A Sim is safe for concurrent use. Measure, PingRTT, ForwardPath and the
+// segment helpers are pure per call: every stochastic choice is a hash of
+// (seed, key...), the Sim's own fields are read-only after New, and the
+// only shared mutable state — the BGP router's path-tree and link caches —
+// is internally locked. The parallel campaign engine in
+// internal/orchestrator relies on this to fan hourly rounds out across
+// goroutines without changing any measured value.
 package netsim
 
 import (

@@ -1,7 +1,9 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -387,6 +389,62 @@ func TestDipShape(t *testing.T) {
 	// Wraparound: 23h vs peak 1h is only 2h apart.
 	if d := dipShape(23, 1, 2); d < 0.5 {
 		t.Errorf("circular dip = %v", d)
+	}
+}
+
+// TestMeasureConcurrentPurity drives Measure from many goroutines against
+// one Sim and checks every result matches a sequential baseline. Run with
+// -race this enforces the "pure per call" contract the parallel campaign
+// engine depends on.
+func TestMeasureConcurrentPurity(t *testing.T) {
+	s := newSim(t)
+	servers := s.Topology().ServersInCountry("US")[:16]
+	specs := make([]TestSpec, 0, len(servers)*4)
+	for i, srv := range servers {
+		for h := 0; h < 4; h++ {
+			dir := Download
+			if (i+h)%2 == 1 {
+				dir = Upload
+			}
+			specs = append(specs, TestSpec{
+				Region: "us-east1", Server: srv, Tier: bgp.Premium,
+				Dir: dir, Time: t0.Add(time.Duration(h*6) * time.Hour),
+			})
+		}
+	}
+	want := make([]TestResult, len(specs))
+	for i, spec := range specs {
+		r, err := s.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(specs))
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := range specs {
+				r, err := s.Measure(specs[(i+g)%len(specs)])
+				if err != nil {
+					errs[g] = err
+					return
+				}
+				w := want[(i+g)%len(specs)]
+				if r.ThroughputMbps != w.ThroughputMbps || r.RTTms != w.RTTms || r.LossRate != w.LossRate {
+					errs[g] = fmt.Errorf("spec %d: concurrent %+v != sequential %+v", (i+g)%len(specs), r, w)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 }
 

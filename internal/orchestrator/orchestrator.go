@@ -5,6 +5,17 @@
 // captures packet headers and SoMeta metadata, runs follow-up traceroutes,
 // uploads results to the region's storage bucket, and indexes them into the
 // time-series store.
+//
+// # Concurrency model
+//
+// A campaign fans each hourly round out across its simulated measurement
+// VMs: every VM's test list runs on its own goroutine, bounded by
+// Config.Parallelism. Measurement results land in a slice indexed by a
+// deterministic per-hour task order, and all observable side effects —
+// sink records, egress metering, report counters — are applied in that
+// order after the round joins. Because netsim.Sim.Measure is a pure
+// function of (seed, spec), a campaign produces bit-identical measurement
+// sets at every parallelism level, including 1 (sequential).
 package orchestrator
 
 import (
@@ -12,6 +23,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/analysis"
@@ -30,22 +42,40 @@ import (
 // hour, leaving at most 17 tests.
 const TestsPerVMPerHour = 17
 
+// TestsPerServerPerHour is the hourly test load one server adds to the
+// plan: download and upload are separate tests, each occupying its own
+// slot in a VM's hourly budget.
+const TestsPerServerPerHour = 2
+
 // PlanVMs returns the number of measurement VMs needed to test n servers
-// hourly.
+// hourly. The plan is on tests per hour, not servers per hour: each server
+// consumes TestsPerServerPerHour of the 17 hourly per-VM test slots.
 func PlanVMs(n int) int {
-	if n <= 0 {
+	return PlanVMsForTests(n * TestsPerServerPerHour)
+}
+
+// PlanVMsForTests returns the number of measurement VMs needed to run the
+// given number of tests each hour.
+func PlanVMsForTests(tests int) int {
+	if tests <= 0 {
 		return 0
 	}
-	return (n + TestsPerVMPerHour - 1) / TestsPerVMPerHour
+	return (tests + TestsPerVMPerHour - 1) / TestsPerVMPerHour
 }
 
 // Sink consumes measurement records as the campaign produces them, so
 // full-scale runs need not hold every record in memory.
+//
+// A single Run delivers records from one goroutine, so any Sink works for
+// one campaign. Sinks shared across concurrently running campaigns must be
+// safe for concurrent use: StoreSink already is, SliceSink is not — wrap
+// it (or any other unsafe sink) in a LockedSink.
 type Sink interface {
 	Record(analysis.Measurement)
 }
 
-// SliceSink collects records into a slice.
+// SliceSink collects records into a slice. It is not safe for concurrent
+// use; wrap it in a LockedSink when sharing it across campaigns.
 type SliceSink struct {
 	Out []analysis.Measurement
 }
@@ -53,7 +83,25 @@ type SliceSink struct {
 // Record implements Sink.
 func (s *SliceSink) Record(m analysis.Measurement) { s.Out = append(s.Out, m) }
 
-// StoreSink indexes records into a time-series store.
+// LockedSink serialises access to an inner sink, making it safe to share
+// across concurrently running campaigns.
+type LockedSink struct {
+	mu    sync.Mutex
+	inner Sink
+}
+
+// NewLockedSink wraps a sink with a mutex.
+func NewLockedSink(inner Sink) *LockedSink { return &LockedSink{inner: inner} }
+
+// Record implements Sink.
+func (l *LockedSink) Record(m analysis.Measurement) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Record(m)
+}
+
+// StoreSink indexes records into a time-series store. It is safe for
+// concurrent use: tsdb.Store serialises inserts internally.
 type StoreSink struct {
 	Store *tsdb.Store
 }
@@ -73,7 +121,8 @@ func (s *StoreSink) Record(m analysis.Measurement) {
 	})
 }
 
-// MultiSink fans records out to several sinks.
+// MultiSink fans records out to several sinks. It holds no state of its
+// own, so it is as safe for concurrent use as its least safe component.
 type MultiSink []Sink
 
 // Record implements Sink.
@@ -112,6 +161,18 @@ type Config struct {
 	// D5 ablation uses this (the paper randomises to decorrelate from
 	// periodic system events).
 	FixedOrder bool
+	// Parallelism bounds how many simulated measurement VMs execute their
+	// hourly test lists concurrently. 0 or 1 runs sequentially. The
+	// measurement set is bit-identical at every setting.
+	Parallelism int
+	// Measure overrides how a scheduled test executes (default: the
+	// simulator's Measure). Drivers use it to route tests through a real
+	// protocol client, where each test occupies its VM for real
+	// wall-clock time — the case the worker pool exists for. It is called
+	// from concurrent VM goroutines when Parallelism > 1, so it must be
+	// safe for concurrent use, and it must stay deterministic in the spec
+	// for the bit-identical guarantee to hold.
+	Measure func(netsim.TestSpec) (netsim.TestResult, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -133,7 +194,30 @@ func (c Config) withDefaults() Config {
 	if c.Days <= 0 {
 		c.Days = 1
 	}
+	if c.Parallelism < 1 {
+		c.Parallelism = 1
+	}
 	return c
+}
+
+// hourSeed derives the per-hour permutation seed from the campaign seed
+// with a splitmix64-style finaliser. The multiplicative avalanche
+// decorrelates adjacent hours even for small campaign seeds, where the
+// previous xor-with-scaled-hour mixing produced overlapping orders.
+func hourSeed(seed int64, hour int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*(uint64(hour)+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// HourOrder returns the randomised server visit order for one campaign
+// hour. Exported so tests can pin the deterministic schedule.
+func HourOrder(seed int64, hour, n int) []int {
+	return rand.New(rand.NewSource(hourSeed(seed, hour))).Perm(n)
 }
 
 // Orchestrator wires the simulator, the cloud control plane and the data
@@ -160,6 +244,24 @@ type Report struct {
 	MaxVMCPUUtil float64
 }
 
+// vmWorker is the execution state of one simulated measurement VM: its own
+// SoMeta collector and traceroute prober, so concurrently running VMs never
+// share a mutable instrument.
+type vmWorker struct {
+	collector *someta.Collector
+	prober    *traceroute.Prober
+}
+
+// task is one scheduled speed test of an hourly round.
+type task struct {
+	srv     *topology.Server
+	tier    bgp.Tier
+	dir     netsim.Direction
+	at      time.Time
+	vm      int // global VM index: tierIndex*perTierVMs + vmWithinTier
+	capture bool
+}
+
 // Run executes the campaign, streaming measurements into sink.
 func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	cfg = cfg.withDefaults()
@@ -174,12 +276,12 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 		return nil, fmt.Errorf("orchestrator: unknown region %q", cfg.Region)
 	}
 
-	// Deploy measurement VMs: enough for one test per server per hour,
-	// per tier, spread across zones.
+	// Deploy measurement VMs: enough for the hourly test load (two tests
+	// per server), per tier, spread across zones.
 	perTierVMs := PlanVMs(len(cfg.Servers))
 	totalVMs := perTierVMs * len(cfg.Tiers)
 	var vms []*cloud.VM
-	for ti, tier := range cfg.Tiers {
+	for _, tier := range cfg.Tiers {
 		for i := 0; i < perTierVMs; i++ {
 			vm, err := o.platform.CreateVM(cloud.VMSpec{
 				Name:         fmt.Sprintf("clasp-%s-%s-%d", cfg.Region, tier, i),
@@ -194,7 +296,6 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 				return nil, fmt.Errorf("orchestrator: deploying VM %d/%s: %w", i, tier, err)
 			}
 			vms = append(vms, vm)
-			_ = ti
 		}
 	}
 	defer func() {
@@ -204,8 +305,13 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 		}
 	}()
 
-	collector := someta.NewCollector(fmt.Sprintf("clasp-%s", cfg.Region), nil)
-	prober := traceroute.NewProber(o.sim, cfg.Region, cfg.Seed)
+	workers := make([]*vmWorker, totalVMs)
+	for i := range workers {
+		workers[i] = &vmWorker{
+			collector: someta.NewCollector(fmt.Sprintf("clasp-%s-%d", cfg.Region, i), nil),
+			prober:    traceroute.NewProber(o.sim, cfg.Region, cfg.Seed),
+		}
+	}
 
 	rep := &Report{Region: cfg.Region, VMs: totalVMs}
 	totalHours := cfg.Days * 24
@@ -224,86 +330,201 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 				order[i] = i
 			}
 		} else {
-			order = rand.New(rand.NewSource(cfg.Seed ^ int64(hour)*0x9e37)).Perm(len(cfg.Servers))
+			order = HourOrder(cfg.Seed, hour, len(cfg.Servers))
 		}
 
-		for _, tier := range cfg.Tiers {
-			for slot, idx := range order {
+		// Build the hour's task list. Everything observable is derived
+		// from this deterministic order: VM assignment, slot timestamps
+		// (upload gets its own slot after the download), and the capture
+		// cadence, which counts downloads in task order so it selects the
+		// same tests at any parallelism.
+		tasks := make([]task, 0, len(order)*TestsPerServerPerHour*len(cfg.Tiers))
+		for ti, tier := range cfg.Tiers {
+			for pos, idx := range order {
 				srv := cfg.Servers[idx]
-				at := hourStart.Add(time.Duration(slot%TestsPerVMPerHour) * slotGap)
-				for _, dir := range []netsim.Direction{netsim.Download, netsim.Upload} {
-					res, err := o.sim.Measure(netsim.TestSpec{
-						Region:      cfg.Region,
-						Server:      srv,
-						Tier:        tier,
-						Dir:         dir,
-						Time:        at,
-						DurationSec: cfg.TestDurationSec,
-						VMDownMbps:  cfg.DownlinkMbps,
-						VMUpMbps:    cfg.UplinkMbps,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("orchestrator: test %d/%s/%s: %w", srv.ID, tier, dir, err)
-					}
-					sink.Record(analysis.Measurement{
-						ServerID: srv.ID,
-						Region:   cfg.Region,
-						Tier:     tier,
-						Dir:      dir,
-						Time:     at,
-						Mbps:     res.ThroughputMbps,
-						RTTms:    res.RTTms,
-						Loss:     res.LossRate,
-					})
-					rep.Tests++
-					// Egress accounting: uploads push the full transfer
-					// out of the cloud; downloads only return ACKs (~2%).
-					bytes := int64(res.ThroughputMbps * 1e6 / 8 * cfg.TestDurationSec)
-					if dir == netsim.Upload {
-						o.platform.RecordEgress(tier, bytes)
-					} else {
-						o.platform.RecordEgress(tier, bytes/50)
-					}
-
+				for di, dir := range []netsim.Direction{netsim.Download, netsim.Upload} {
+					testIdx := pos*TestsPerServerPerHour + di
+					capture := false
 					if dir == netsim.Download {
 						downloads++
-						if cfg.CaptureEvery > 0 && downloads%cfg.CaptureEvery == 0 {
-							if err := o.captureTest(cfg, srv, tier, at, res, collector); err != nil {
-								return nil, err
-							}
-							rep.Captures++
-						}
+						capture = cfg.CaptureEvery > 0 && downloads%cfg.CaptureEvery == 0
 					}
+					tasks = append(tasks, task{
+						srv:     srv,
+						tier:    tier,
+						dir:     dir,
+						at:      hourStart.Add(time.Duration(testIdx%TestsPerVMPerHour) * slotGap),
+						vm:      ti*perTierVMs + testIdx/TestsPerVMPerHour,
+						capture: capture,
+					})
 				}
 			}
 		}
 
-		// Daily follow-up traceroutes.
+		results, err := o.runRound(cfg, hourStart, tasks, workers)
+		if err != nil {
+			return nil, err
+		}
+
+		// Emit phase: sink records, egress metering and report counters
+		// run in task order, so the record stream and the accrued
+		// floating-point sums match the sequential schedule exactly.
+		for i, t := range tasks {
+			res := results[i]
+			sink.Record(analysis.Measurement{
+				ServerID: t.srv.ID,
+				Region:   cfg.Region,
+				Tier:     t.tier,
+				Dir:      t.dir,
+				Time:     t.at,
+				Mbps:     res.ThroughputMbps,
+				RTTms:    res.RTTms,
+				Loss:     res.LossRate,
+			})
+			rep.Tests++
+			// Egress accounting: uploads push the full transfer out of
+			// the cloud; downloads only return ACKs (~2%).
+			xferBytes := int64(res.ThroughputMbps * 1e6 / 8 * cfg.TestDurationSec)
+			if t.dir == netsim.Upload {
+				o.platform.RecordEgress(t.tier, xferBytes)
+			} else {
+				o.platform.RecordEgress(t.tier, xferBytes/50)
+			}
+			if t.capture {
+				rep.Captures++
+			}
+		}
+
+		// Daily follow-up traceroutes: probing is pure, so it fans out
+		// across the VM pool; uploads run in server order afterwards.
 		if cfg.TracerouteEvery > 0 && hour%(24*cfg.TracerouteEvery) == 0 {
-			for _, srv := range cfg.Servers {
-				tr, err := prober.Trace(traceroute.Destination{
+			trs := make([]traceroute.Result, len(cfg.Servers))
+			err := forEachLimit(len(cfg.Servers), cfg.Parallelism, func(i int) error {
+				srv := cfg.Servers[i]
+				w := workers[i%len(workers)]
+				tr, err := w.prober.Trace(traceroute.Destination{
 					IP: srv.IP, ASN: srv.ASN, City: srv.City, LinkID: -1, Tier: cfg.Tiers[0],
 				}, traceroute.Options{Mode: traceroute.Paris, FlowID: uint64(srv.ID)})
 				if err != nil {
-					return nil, fmt.Errorf("orchestrator: traceroute to %d: %w", srv.ID, err)
+					return fmt.Errorf("orchestrator: traceroute to %d: %w", srv.ID, err)
 				}
+				trs[i] = tr
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			for i, srv := range cfg.Servers {
 				rep.Traceroutes++
-				if o.bucket != nil {
-					var buf bytes.Buffer
-					if err := traceroute.WriteJSON(&buf, []traceroute.Result{tr}); err != nil {
-						return nil, err
-					}
-					key := fmt.Sprintf("%s/traceroute/%s/server-%d.json", cfg.Region, hourStart.Format("2006-01-02"), srv.ID)
-					if err := o.bucket.Put(key, buf.Bytes(), hourStart); err != nil {
-						return nil, err
-					}
+				if o.bucket == nil {
+					continue
+				}
+				var buf bytes.Buffer
+				if err := traceroute.WriteJSON(&buf, []traceroute.Result{trs[i]}); err != nil {
+					return nil, err
+				}
+				key := fmt.Sprintf("%s/traceroute/%s/server-%d.json", cfg.Region, hourStart.Format("2006-01-02"), srv.ID)
+				if err := o.bucket.Put(key, buf.Bytes(), hourStart); err != nil {
+					return nil, err
 				}
 			}
 		}
 	}
 	o.platform.AccrueVMHours(totalVMs, time.Duration(totalHours)*time.Hour, cloud.N1Standard2)
-	rep.MaxVMCPUUtil = collector.MaxCPU()
+	for _, w := range workers {
+		if u := w.collector.MaxCPU(); u > rep.MaxVMCPUUtil {
+			rep.MaxVMCPUUtil = u
+		}
+	}
 	return rep, nil
+}
+
+// runRound executes one hour's tasks, one goroutine per VM bounded by
+// cfg.Parallelism. Results are indexed by task position, so callers
+// observe them in the deterministic schedule order regardless of how the
+// round interleaved.
+func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, workers []*vmWorker) ([]netsim.TestResult, error) {
+	results := make([]netsim.TestResult, len(tasks))
+	byVM := make([][]int, len(workers))
+	for i, t := range tasks {
+		byVM[t.vm] = append(byVM[t.vm], i)
+	}
+	measure := cfg.Measure
+	if measure == nil {
+		measure = o.sim.Measure
+	}
+
+	runVM := func(vm int) error {
+		if len(byVM[vm]) == 0 {
+			return nil
+		}
+		w := workers[vm]
+		// One unconditional SoMeta snapshot per VM-hour, so the report's
+		// MaxVMCPUUtil is populated even with captures disabled.
+		w.collector.Snap(hourStart)
+		for _, ti := range byVM[vm] {
+			t := tasks[ti]
+			res, err := measure(netsim.TestSpec{
+				Region:      cfg.Region,
+				Server:      t.srv,
+				Tier:        t.tier,
+				Dir:         t.dir,
+				Time:        t.at,
+				DurationSec: cfg.TestDurationSec,
+				VMDownMbps:  cfg.DownlinkMbps,
+				VMUpMbps:    cfg.UplinkMbps,
+			})
+			if err != nil {
+				return fmt.Errorf("orchestrator: test %d/%s/%s: %w", t.srv.ID, t.tier, t.dir, err)
+			}
+			results[ti] = res
+			if t.capture {
+				if err := o.captureTest(cfg, t.srv, t.tier, t.at, res, w.collector); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := forEachLimit(len(workers), cfg.Parallelism, runVM); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// forEachLimit runs fn(0..n-1), at most `limit` calls in flight; limit <= 1
+// runs inline. The first error wins; remaining started calls still finish.
+func forEachLimit(n, limit int, fn func(i int) error) error {
+	if limit <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
 }
 
 // captureTest synthesises a tcpdump-style header capture consistent with

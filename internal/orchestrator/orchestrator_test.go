@@ -42,12 +42,95 @@ func setup(t *testing.T) *fixture {
 }
 
 func TestPlanVMs(t *testing.T) {
+	// Each server consumes two hourly test slots (download + upload), so
+	// the plan is ceil(2n / 17).
 	cases := []struct{ n, want int }{
-		{0, 0}, {1, 1}, {17, 1}, {18, 2}, {100, 6}, {184, 11},
+		{0, 0}, {1, 1}, {8, 1}, {9, 2}, {17, 2}, {18, 3}, {100, 12}, {184, 22},
 	}
 	for _, c := range cases {
 		if got := PlanVMs(c.n); got != c.want {
 			t.Errorf("PlanVMs(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	testCases := []struct{ tests, want int }{
+		{0, 0}, {1, 1}, {17, 1}, {18, 2}, {34, 2}, {35, 3},
+	}
+	for _, c := range testCases {
+		if got := PlanVMsForTests(c.tests); got != c.want {
+			t.Errorf("PlanVMsForTests(%d) = %d, want %d", c.tests, got, c.want)
+		}
+	}
+}
+
+func TestUploadSlotOffsets(t *testing.T) {
+	f := setup(t)
+	servers := f.topo.Servers()[:3]
+	sink := &SliceSink{}
+	_, err := f.orch.Run(Config{Region: "us-east1", Servers: servers, Days: 1, Seed: 6}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each hour every test occupies its own slot: the download and
+	// upload of one server must not collide, and 3 servers x 2 directions
+	// must spread over 6 distinct timestamps.
+	byHour := make(map[int]map[int64]int)
+	upAt := make(map[[2]int64]bool) // (server, hour) -> upload seen
+	for _, m := range sink.Out {
+		h := m.Time.Hour()
+		if byHour[h] == nil {
+			byHour[h] = make(map[int64]int)
+		}
+		byHour[h][m.Time.UnixNano()]++
+		if m.Dir == netsim.Upload {
+			upAt[[2]int64{int64(m.ServerID), m.Time.Unix()}] = true
+		}
+	}
+	for h, slots := range byHour {
+		if len(slots) != len(servers)*TestsPerServerPerHour {
+			t.Errorf("hour %d: %d distinct slots, want %d", h, len(slots), len(servers)*TestsPerServerPerHour)
+		}
+		for at, n := range slots {
+			if n != 1 {
+				t.Errorf("hour %d: %d tests share slot %d", h, n, at)
+			}
+		}
+	}
+}
+
+func TestHourOrderGolden(t *testing.T) {
+	// Pins the splitmix64-derived per-hour schedule so future changes to
+	// the seed mixing are deliberate.
+	golden := map[int][]int{
+		0: {1, 7, 0, 2, 4, 6, 5, 3},
+		1: {7, 4, 3, 2, 1, 0, 6, 5},
+		2: {3, 6, 7, 0, 2, 4, 5, 1},
+	}
+	for hour, want := range golden {
+		got := HourOrder(1, hour, 8)
+		if len(got) != len(want) {
+			t.Fatalf("hour %d: %d elements, want %d", hour, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("HourOrder(1, %d, 8) = %v, want %v", hour, got, want)
+			}
+		}
+	}
+	// Adjacent hours must differ for small seeds (the old xor mixing
+	// correlated them).
+	for seed := int64(0); seed < 8; seed++ {
+		for hour := 0; hour < 23; hour++ {
+			a, b := HourOrder(seed, hour, 16), HourOrder(seed, hour+1, 16)
+			same := true
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Errorf("seed %d: hours %d and %d share order %v", seed, hour, hour+1, a)
+			}
 		}
 	}
 }
@@ -70,8 +153,11 @@ func TestRunBasicCampaign(t *testing.T) {
 	if rep.Tests != want || len(sink.Out) != want {
 		t.Fatalf("tests = %d / records %d, want %d", rep.Tests, len(sink.Out), want)
 	}
-	if rep.VMs != 2 {
-		t.Errorf("VMs = %d, want 2 (20 servers / 17 per VM)", rep.VMs)
+	if rep.VMs != 3 {
+		t.Errorf("VMs = %d, want 3 (20 servers x 2 tests / 17 per VM)", rep.VMs)
+	}
+	if rep.MaxVMCPUUtil <= 0 {
+		t.Errorf("MaxVMCPUUtil = %v, want > 0 (hourly SoMeta snapshots)", rep.MaxVMCPUUtil)
 	}
 	if rep.Hours != 48 {
 		t.Errorf("hours = %d", rep.Hours)

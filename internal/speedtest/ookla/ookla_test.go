@@ -184,6 +184,57 @@ func TestServerCloseUnblocksClients(t *testing.T) {
 	}
 }
 
+// TestCloseWhileHandlersActive closes the server while clients are mid
+// conversation. Close must wait for the in-flight handlers, must not race
+// with them (-race), and must return once the clients hang up.
+func TestCloseWhileHandlersActive(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr().String()
+	const clients = 4
+	started := make(chan struct{}, clients)
+	done := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		go func() {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				started <- struct{}{}
+				return
+			}
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			fmt.Fprintf(conn, "HI\n")
+			br.ReadString('\n')
+			started <- struct{}{}
+			// Keep the handler busy while Close runs; errors are expected
+			// once the server tears the connection down.
+			for j := 0; j < 20; j++ {
+				if _, err := fmt.Fprintf(conn, "PING %d\n", j); err != nil {
+					return
+				}
+				if _, err := br.ReadString('\n'); err != nil {
+					return
+				}
+			}
+			fmt.Fprintf(conn, "QUIT\n")
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		<-started
+	}
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return while handlers were active")
+	}
+	if _, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		t.Error("server still accepting after Close")
+	}
+}
+
 func TestServerConcurrentClients(t *testing.T) {
 	s := startServer(t)
 	errs := make(chan error, 4)
