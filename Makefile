@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench bench-all bench-smoke ci
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,24 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# bench runs the hot-path benchmarks (steady-state Measure, cold Measure,
+# sharded TSDB ingest) and records ns/op and allocs/op — joined with the
+# pre-overhaul baselines from BENCH_baseline.txt — in BENCH_hotpath.json.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run=^$$ -bench='BenchmarkMeasure|BenchmarkInsert' -benchmem \
+		./internal/netsim/ ./internal/tsdb/ | tee /dev/stderr | \
+		$(GO) run ./internal/tools/benchjson -baseline BENCH_baseline.txt -out BENCH_hotpath.json
+
+# bench-all runs every benchmark in the repo.
+bench-all:
+	$(GO) test -bench=. -benchmem ./...
+
+# bench-smoke executes the hot-path benchmarks a fixed small number of
+# iterations — a CI check that they still compile and run, not a timing.
+bench-smoke:
+	$(GO) test -run=^$$ -bench='BenchmarkMeasure|BenchmarkInsert' -benchtime=100x \
+		./internal/netsim/ ./internal/tsdb/
 
 # ci is the gate for every change: tier-1 build + tests, static checks,
-# and the full suite under the race detector.
-ci: build test vet race
+# the full suite under the race detector, and a benchmark smoke run.
+ci: build test vet race bench-smoke

@@ -22,12 +22,16 @@
 //	                with the topology)
 //	-parallelism N  concurrent VM workers per campaign round (default 1;
 //	                results are identical at any value for the same seed)
+//	-cpuprofile F   write a CPU profile to file F
+//	-memprofile F   write an allocation profile to file F on exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
@@ -56,6 +60,8 @@ func run(args []string) error {
 	days := fs.Int("days", 30, "campaign length in virtual days")
 	samples := fs.Int("samples", 0, "differential-scan minimum tuple samples")
 	parallelism := fs.Int("parallelism", 1, "concurrent VM workers per campaign round")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 
 	// Subcommand positional arguments come before flags.
 	var positional []string
@@ -65,6 +71,28 @@ func run(args []string) error {
 	}
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // flush up-to-date allocation stats
+			_ = pprof.WriteHeapProfile(f)
+			f.Close()
+		}()
 	}
 	minSamples := *samples
 	if minSamples == 0 {

@@ -10,6 +10,11 @@
 //   - Standard tier: hot-potato. Outgoing traffic exits at an interconnection
 //     near the origin region and crosses the public Internet; incoming
 //     traffic stays on the public Internet and enters near the region.
+//
+// Routing state is cached aggressively: trees and link choices are pure
+// functions of the topology, computed once and then served from lock-free
+// sync.Map reads, so concurrent measurement workers never contend on a
+// route that is already known. Warm precomputes the tree set up front.
 package bgp
 
 import (
@@ -49,24 +54,81 @@ const (
 	classNone
 )
 
-// Tree is the routing state toward one destination AS: for every AS, the
-// best valley-free route (class, AS-hop distance, next hop).
-type Tree struct {
-	dst ASN
-	// per class: distance and next hop toward dst. dist < 0 means none.
-	dist [3]map[ASN]int
-	next [3]map[ASN]ASN
+// denseGraph is the topology's AS relationships re-indexed by the contiguous
+// AS index (position in generation order), with neighbor lists pre-sorted by
+// neighbor ASN — the order every tie-break in compute needs. Built once per
+// Router; afterwards route computation touches no maps and sorts nothing
+// per destination.
+type denseGraph struct {
+	n         int
+	asns      []ASN         // index -> ASN
+	index     map[ASN]int32 // ASN -> index
+	providers [][]int32     // customer -> providers, sorted by provider ASN
+	customers [][]int32     // provider -> customers, sorted by customer ASN
+	peers     [][]int32     // sorted by peer ASN
 }
 
-// Router computes and caches routing trees over a topology.
+func buildDense(t *topology.Topology) *denseGraph {
+	ases := t.ASes()
+	g := &denseGraph{
+		n:         len(ases),
+		asns:      make([]ASN, len(ases)),
+		index:     make(map[ASN]int32, len(ases)),
+		providers: make([][]int32, len(ases)),
+		customers: make([][]int32, len(ases)),
+		peers:     make([][]int32, len(ases)),
+	}
+	for i, a := range ases {
+		g.asns[i] = a.ASN
+		g.index[a.ASN] = int32(i)
+	}
+	conv := func(ns []ASN) []int32 {
+		if len(ns) == 0 {
+			return nil
+		}
+		out := make([]int32, 0, len(ns))
+		for _, n := range ns {
+			out = append(out, g.index[n])
+		}
+		sort.Slice(out, func(i, j int) bool { return g.asns[out[i]] < g.asns[out[j]] })
+		return out
+	}
+	for i, a := range ases {
+		g.providers[i] = conv(t.Providers(a.ASN))
+		g.customers[i] = conv(t.Customers(a.ASN))
+		g.peers[i] = conv(t.Peers(a.ASN))
+	}
+	return g
+}
+
+// Tree is the routing state toward one destination AS: for every AS, the
+// best valley-free route (class, AS-hop distance, next hop), held in dense
+// slices keyed by the contiguous AS index. A Tree is immutable once built
+// and safe for concurrent reads.
+type Tree struct {
+	dst    ASN
+	dstIdx int32 // -1 when dst is not in the topology
+	g      *denseGraph
+	// per class: distance and next hop (as AS index) toward dst; -1 = none.
+	dist [3][]int32
+	next [3][]int32
+}
+
+// Router computes and caches routing trees over a topology. Cache hits are
+// lock-free sync.Map reads; each tree is computed at most once (misses
+// singleflight through a per-destination sync.Once).
 type Router struct {
-	topo *topology.Topology
+	topo  *topology.Topology
+	dense *denseGraph
 
-	mu    sync.Mutex
-	trees map[ASN]*Tree
+	trees     sync.Map // ASN -> *treeEntry
+	linkCache sync.Map // linkCacheKey -> *topology.Interconnect
+}
 
-	linkMu    sync.Mutex
-	linkCache map[linkCacheKey]*topology.Interconnect
+// treeEntry singleflights one destination's computation.
+type treeEntry struct {
+	once sync.Once
+	tree *Tree
 }
 
 type linkCacheKey struct {
@@ -77,71 +139,110 @@ type linkCacheKey struct {
 
 // NewRouter creates a router for the given topology.
 func NewRouter(t *topology.Topology) *Router {
-	return &Router{
-		topo:      t,
-		trees:     make(map[ASN]*Tree),
-		linkCache: make(map[linkCacheKey]*topology.Interconnect),
-	}
+	return &Router{topo: t, dense: buildDense(t)}
 }
 
 // TreeTo returns the (cached) routing tree toward dst.
 func (r *Router) TreeTo(dst ASN) *Tree {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if tr, ok := r.trees[dst]; ok {
-		return tr
+	if e, ok := r.trees.Load(dst); ok {
+		en := e.(*treeEntry)
+		en.once.Do(func() { en.tree = r.compute(dst) })
+		return en.tree
 	}
-	tr := r.compute(dst)
-	r.trees[dst] = tr
-	return tr
+	e, _ := r.trees.LoadOrStore(dst, new(treeEntry))
+	en := e.(*treeEntry)
+	en.once.Do(func() { en.tree = r.compute(dst) })
+	return en.tree
 }
 
-// compute runs the three-phase Gao-Rexford propagation toward dst.
-func (r *Router) compute(dst ASN) *Tree {
-	t := r.topo
-	tr := &Tree{dst: dst}
-	for c := 0; c < 3; c++ {
-		tr.dist[c] = make(map[ASN]int)
-		tr.next[c] = make(map[ASN]ASN)
+// Warm bulk-precomputes the routing trees toward every destination in dsts,
+// at most parallelism computations in flight. A campaign calls this once at
+// start so steady-state measurement never waits on a tree build. Warming is
+// purely a cache fill: it changes no routing decision.
+func (r *Router) Warm(dsts []ASN, parallelism int) {
+	if parallelism < 1 {
+		parallelism = 1
 	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, dst := range dsts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(dst ASN) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r.TreeTo(dst)
+		}(dst)
+	}
+	wg.Wait()
+}
+
+// compute runs the three-phase Gao-Rexford propagation toward dst over the
+// dense graph.
+func (r *Router) compute(dst ASN) *Tree {
+	g := r.dense
+	tr := &Tree{dst: dst, dstIdx: -1, g: g}
+	di, ok := g.index[dst]
+	if !ok {
+		return tr // unknown destination: no AS has a route
+	}
+	tr.dstIdx = di
+	// One backing array for the six per-class slices.
+	backing := make([]int32, 6*g.n)
+	for i := range backing {
+		backing[i] = -1
+	}
+	for c := 0; c < 3; c++ {
+		tr.dist[c] = backing[(2*c+0)*g.n : (2*c+1)*g.n]
+		tr.next[c] = backing[(2*c+1)*g.n : (2*c+2)*g.n]
+	}
+	dist, next := &tr.dist, &tr.next
 
 	// Phase 1: customer routes. An AS has a customer route if dst sits in
 	// its customer cone. BFS from dst following customer->provider edges.
 	type qe struct {
-		asn  ASN
-		dist int
+		idx  int32
+		dist int32
 	}
-	queue := []qe{{dst, 0}}
-	tr.dist[classCustomer][dst] = 0
+	queue := []qe{{di, 0}}
+	dist[classCustomer][di] = 0
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		if tr.dist[classCustomer][cur.asn] != cur.dist {
+		if dist[classCustomer][cur.idx] != cur.dist {
 			continue // superseded
 		}
-		provs := append([]ASN(nil), t.Providers(cur.asn)...)
-		sort.Slice(provs, func(i, j int) bool { return provs[i] < provs[j] })
-		for _, p := range provs {
+		curASN := g.asns[cur.idx]
+		for _, p := range g.providers[cur.idx] {
 			nd := cur.dist + 1
-			if d, ok := tr.dist[classCustomer][p]; !ok || nd < d ||
-				(nd == d && cur.asn < tr.next[classCustomer][p]) {
-				if !ok || nd < tr.dist[classCustomer][p] {
+			d := dist[classCustomer][p]
+			if d < 0 || nd < d ||
+				(nd == d && curASN < g.asns[next[classCustomer][p]]) {
+				if d < 0 || nd < d {
 					queue = append(queue, qe{p, nd})
 				}
-				tr.dist[classCustomer][p] = nd
-				tr.next[classCustomer][p] = cur.asn
+				dist[classCustomer][p] = nd
+				next[classCustomer][p] = cur.idx
 			}
 		}
 	}
 
-	// Phase 2: peer routes. One peer edge, then a customer route.
-	for asn, d := range tr.dist[classCustomer] {
-		for _, p := range t.Peers(asn) {
+	// Phase 2: peer routes. One peer edge, then a customer route. The
+	// result is a pure (distance, lowest-ASN) minimum over candidates, so
+	// scanning in index order converges to the same routes as any order.
+	for i := int32(0); i < int32(g.n); i++ {
+		d := dist[classCustomer][i]
+		if d < 0 {
+			continue
+		}
+		iASN := g.asns[i]
+		for _, p := range g.peers[i] {
 			nd := d + 1
-			if cur, ok := tr.dist[classPeer][p]; !ok || nd < cur ||
-				(nd == cur && asn < tr.next[classPeer][p]) {
-				tr.dist[classPeer][p] = nd
-				tr.next[classPeer][p] = asn
+			cur := dist[classPeer][p]
+			if cur < 0 || nd < cur ||
+				(nd == cur && iASN < g.asns[next[classPeer][p]]) {
+				dist[classPeer][p] = nd
+				next[classPeer][p] = i
 			}
 		}
 	}
@@ -149,59 +250,59 @@ func (r *Router) compute(dst ASN) *Tree {
 	// Phase 3: provider routes. An AS learns from each provider that
 	// provider's best exportable route. Process by increasing distance
 	// (unit weights -> bucketed BFS).
-	best := func(asn ASN) (int, bool) {
-		if d, ok := tr.dist[classCustomer][asn]; ok {
+	best := func(i int32) (int32, bool) {
+		if d := dist[classCustomer][i]; d >= 0 {
 			return d, true
 		}
-		if d, ok := tr.dist[classPeer][asn]; ok {
+		if d := dist[classPeer][i]; d >= 0 {
 			return d, true
 		}
-		if d, ok := tr.dist[classProvider][asn]; ok {
+		if d := dist[classProvider][i]; d >= 0 {
 			return d, true
 		}
 		return 0, false
 	}
 	// Seed buckets with every AS that already has a route.
-	buckets := make([][]ASN, 1)
-	push := func(d int, a ASN) {
-		for len(buckets) <= d {
+	buckets := make([][]int32, 1)
+	push := func(d int32, i int32) {
+		for len(buckets) <= int(d) {
 			buckets = append(buckets, nil)
 		}
-		buckets[d] = append(buckets[d], a)
+		buckets[d] = append(buckets[d], i)
 	}
-	for _, a := range t.ASes() {
-		if d, ok := best(a.ASN); ok {
-			push(d, a.ASN)
+	for i := int32(0); i < int32(g.n); i++ {
+		if d, ok := best(i); ok {
+			push(d, i)
 		}
 	}
-	for d := 0; d < len(buckets); d++ {
+	for d := int32(0); int(d) < len(buckets); d++ {
 		// Sort for deterministic tie-breaking.
 		bs := buckets[d]
-		sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+		sort.Slice(bs, func(i, j int) bool { return g.asns[bs[i]] < g.asns[bs[j]] })
 		for _, u := range bs {
 			bd, ok := best(u)
 			if !ok || bd != d {
 				continue // superseded by a better route
 			}
-			custs := append([]ASN(nil), t.Customers(u)...)
-			sort.Slice(custs, func(i, j int) bool { return custs[i] < custs[j] })
-			for _, c := range custs {
+			uASN := g.asns[u]
+			for _, c := range g.customers[u] {
 				// Customer/peer routes always beat provider routes;
 				// never overwrite them.
-				if _, has := tr.dist[classCustomer][c]; has {
+				if dist[classCustomer][c] >= 0 {
 					continue
 				}
-				if _, has := tr.dist[classPeer][c]; has {
+				if dist[classPeer][c] >= 0 {
 					continue
 				}
 				nd := d + 1
-				if cur, ok := tr.dist[classProvider][c]; !ok || nd < cur ||
-					(nd == cur && u < tr.next[classProvider][c]) {
-					if !ok || nd < tr.dist[classProvider][c] {
+				cur := dist[classProvider][c]
+				if cur < 0 || nd < cur ||
+					(nd == cur && uASN < g.asns[next[classProvider][c]]) {
+					if cur < 0 || nd < cur {
 						push(nd, c)
 					}
-					tr.dist[classProvider][c] = nd
-					tr.next[classProvider][c] = u
+					dist[classProvider][c] = nd
+					next[classProvider][c] = u
 				}
 			}
 		}
@@ -215,22 +316,29 @@ func (tr *Tree) Path(src ASN) ([]ASN, bool) {
 	if src == tr.dst {
 		return []ASN{src}, true
 	}
+	if tr.dstIdx < 0 {
+		return nil, false
+	}
+	si, ok := tr.g.index[src]
+	if !ok {
+		return nil, false
+	}
 	var path []ASN
-	cur := src
+	cur := si
 	// After the first peer or provider edge the remaining path must
 	// descend through customer routes (valley-free); the stored per-class
 	// next hops encode exactly that.
-	for cur != tr.dst {
-		path = append(path, cur)
+	for cur != tr.dstIdx {
+		path = append(path, tr.g.asns[cur])
 		if len(path) > 64 {
 			return nil, false // defensive: malformed state
 		}
-		var next ASN
-		if _, ok := tr.dist[classCustomer][cur]; ok {
+		var next int32
+		if tr.dist[classCustomer][cur] >= 0 {
 			next = tr.next[classCustomer][cur]
-		} else if _, ok := tr.dist[classPeer][cur]; ok {
+		} else if tr.dist[classPeer][cur] >= 0 {
 			next = tr.next[classPeer][cur]
-		} else if _, ok := tr.dist[classProvider][cur]; ok {
+		} else if tr.dist[classProvider][cur] >= 0 {
 			next = tr.next[classProvider][cur]
 		} else {
 			return nil, false
@@ -246,9 +354,16 @@ func (tr *Tree) Dist(src ASN) (int, bool) {
 	if src == tr.dst {
 		return 0, true
 	}
+	if tr.dstIdx < 0 {
+		return 0, false
+	}
+	si, ok := tr.g.index[src]
+	if !ok {
+		return 0, false
+	}
 	for c := 0; c < 3; c++ {
-		if d, ok := tr.dist[c][src]; ok {
-			return d, true
+		if d := tr.dist[c][si]; d >= 0 {
+			return int(d), true
 		}
 	}
 	return 0, false
@@ -324,15 +439,13 @@ func (r *Router) IngressLink(region string, srcASN ASN, srcCity string, tier Tie
 
 // nearestVisibleLink picks the region-visible link with the given neighbor
 // whose facility is closest to anchorCity, breaking ties by lowest link ID.
-// Choices are cached: the decision is a pure function of its inputs.
+// Choices are cached lock-free: the decision is a pure function of its
+// inputs, so a racing duplicate computation stores an identical value.
 func (r *Router) nearestVisibleLink(region string, neighbor ASN, anchorCity string) (*topology.Interconnect, error) {
 	key := linkCacheKey{region: region, neighbor: neighbor, anchor: anchorCity}
-	r.linkMu.Lock()
-	if l, ok := r.linkCache[key]; ok {
-		r.linkMu.Unlock()
-		return l, nil
+	if l, ok := r.linkCache.Load(key); ok {
+		return l.(*topology.Interconnect), nil
 	}
-	r.linkMu.Unlock()
 	t := r.topo
 	anchor, ok := t.CityCoord(anchorCity)
 	if !ok {
@@ -344,11 +457,10 @@ func (r *Router) nearestVisibleLink(region string, neighbor ASN, anchorCity stri
 		if !t.IsVisible(region, l.ID) {
 			continue
 		}
-		c, ok := t.CityCoord(l.City)
-		if !ok {
+		if !l.CoordOK {
 			continue
 		}
-		d := geo.DistanceKm(anchor, c)
+		d := geo.DistanceKm(anchor, l.Coord)
 		if best == nil || d < bestD || (d == bestD && l.ID < best.ID) {
 			best, bestD = l, d
 		}
@@ -356,9 +468,7 @@ func (r *Router) nearestVisibleLink(region string, neighbor ASN, anchorCity stri
 	if best == nil {
 		return nil, fmt.Errorf("bgp: neighbor AS%d has no visible link in %s", neighbor, region)
 	}
-	r.linkMu.Lock()
-	r.linkCache[key] = best
-	r.linkMu.Unlock()
+	r.linkCache.Store(key, best)
 	return best, nil
 }
 

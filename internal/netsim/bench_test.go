@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// The hot-path benchmarks behind `make bench` / BENCH_hotpath.json.
+// BenchmarkMeasureWarm is the steady-state campaign cost: routing and flow
+// caches populated, 4 concurrent workers per proc (the shape runRound
+// produces at Parallelism >= 4).
+
+var (
+	benchOnce  sync.Once
+	benchTopo  *topology.Topology
+	benchSpecs []TestSpec
+)
+
+func benchSetup(b *testing.B) (*topology.Topology, []TestSpec) {
+	b.Helper()
+	benchOnce.Do(func() {
+		topo, err := topology.New(topology.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		benchTopo = topo
+		start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+		servers := topo.Servers()
+		if len(servers) > 24 {
+			servers = servers[:24]
+		}
+		i := 0
+		for _, srv := range servers {
+			for _, tier := range []bgp.Tier{bgp.Premium, bgp.Standard} {
+				for _, dir := range []Direction{Download, Upload} {
+					benchSpecs = append(benchSpecs, TestSpec{
+						Region: "us-east1", Server: srv, Tier: tier, Dir: dir,
+						Time: start.Add(time.Duration(i%48) * time.Hour),
+					})
+					i++
+				}
+			}
+		}
+	})
+	if benchTopo == nil {
+		b.Fatal("bench topology failed to build")
+	}
+	return benchTopo, benchSpecs
+}
+
+// BenchmarkMeasureCold includes route-tree computation: a fresh router and
+// simulator per iteration, so every Measure pays the full path resolution.
+func BenchmarkMeasureCold(b *testing.B) {
+	topo, specs := benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := New(topo, nil, Config{Seed: 7})
+		if _, err := sim.Measure(specs[i%len(specs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMeasureWarm is the steady-state cost after the first round: all
+// routing state cached, four goroutines per proc measuring concurrently.
+func BenchmarkMeasureWarm(b *testing.B) {
+	topo, specs := benchSetup(b)
+	sim := New(topo, nil, Config{Seed: 7})
+	for _, sp := range specs {
+		if _, err := sim.Measure(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % len(specs)
+			if _, err := sim.Measure(specs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/tcpmodel"
+	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// measureUncached recomputes a Measure result through the original per-call
+// path — route resolution plus pathRTT/pathBandwidth — with no flow cache.
+// The flow cache must be bit-identical to this.
+func measureUncached(t *testing.T, s *Sim, spec TestSpec) TestResult {
+	t.Helper()
+	if spec.DurationSec <= 0 {
+		spec.DurationSec = 15
+	}
+	var choice bgp.EgressChoice
+	var err error
+	if spec.Dir == Download {
+		choice, err = s.router.IngressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
+	} else {
+		choice, err = s.router.EgressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtt := s.pathRTT(spec.Region, spec.Server.ASN, spec.Server.City, choice, spec.Tier, spec.Time, uint64(spec.Server.ID))
+	avail, loss := s.pathBandwidth(spec, choice, spec.Time)
+	tput := tcpmodel.Throughput(tcpmodel.FlowParams{
+		RTTms:          rtt,
+		Loss:           loss,
+		BottleneckMbps: avail,
+		DurationSec:    spec.DurationSec,
+		Streams:        s.cfg.ParallelStreams,
+	})
+	sigma := s.cfg.NoiseSigmaPremium
+	if spec.Tier == bgp.Standard {
+		sigma = s.cfg.NoiseSigmaStandard
+	}
+	n := hashNorm(s.cfg.Seed, s.regionHash(spec.Region), uint64(spec.Server.ID), dayOf(spec.Time), uint64(spec.Time.Hour()), uint64(spec.Dir), uint64(spec.Tier), 0xa1)
+	tput *= clamp(1+sigma*n, 0.4, 1.6)
+	return TestResult{
+		ThroughputMbps: tput,
+		RTTms:          rtt,
+		LossRate:       loss,
+		Link:           choice.Link,
+		ASPath:         choice.Path,
+		Dir:            spec.Dir,
+		Tier:           spec.Tier,
+	}
+}
+
+// TestFlowCacheMatchesUncached sweeps servers, tiers, directions and times
+// — including repeated hits on warmed entries — and asserts every cached
+// Measure equals the uncached recomputation bit for bit.
+func TestFlowCacheMatchesUncached(t *testing.T) {
+	topo, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := New(topo, nil, Config{Seed: 7})
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+
+	servers := topo.Servers()
+	if len(servers) > 12 {
+		servers = servers[:12]
+	}
+	regions := []string{"us-east1", "us-west1"}
+	checked := 0
+	for _, region := range regions {
+		for _, srv := range servers {
+			for _, tier := range []bgp.Tier{bgp.Premium, bgp.Standard} {
+				for _, dir := range []Direction{Download, Upload} {
+					for _, dh := range []int{0, 5, 21, 24*9 + 13} {
+						spec := TestSpec{
+							Region: region, Server: srv, Tier: tier, Dir: dir,
+							Time: start.Add(time.Duration(dh) * time.Hour),
+						}
+						got, err := sim.Measure(spec)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := measureUncached(t, sim, spec)
+						if got.ThroughputMbps != want.ThroughputMbps ||
+							got.RTTms != want.RTTms ||
+							got.LossRate != want.LossRate {
+							t.Fatalf("%s srv%d %v %v t+%dh: cached (%v, %v, %v) != uncached (%v, %v, %v)",
+								region, srv.ID, tier, dir, dh,
+								got.ThroughputMbps, got.RTTms, got.LossRate,
+								want.ThroughputMbps, want.RTTms, want.LossRate)
+						}
+						if got.Link != want.Link {
+							t.Fatalf("%s srv%d %v %v: cached link %d != uncached link %d",
+								region, srv.ID, tier, dir, got.Link.ID, want.Link.ID)
+						}
+						if len(got.ASPath) != len(want.ASPath) {
+							t.Fatalf("AS path lengths differ: %v vs %v", got.ASPath, want.ASPath)
+						}
+						for i := range got.ASPath {
+							if got.ASPath[i] != want.ASPath[i] {
+								t.Fatalf("AS paths differ: %v vs %v", got.ASPath, want.ASPath)
+							}
+						}
+						checked++
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no specs checked")
+	}
+}
+
+// TestMeasureConcurrentCold races many goroutines into a cold simulator —
+// flow cache, route trees and link cache all populate under contention —
+// and asserts everyone observes the same values. Run under -race this pins
+// the lock-free fast paths.
+func TestMeasureConcurrentCold(t *testing.T) {
+	topo, err := topology.New(topology.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := topo.Servers()
+	if len(servers) > 8 {
+		servers = servers[:8]
+	}
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	var specs []TestSpec
+	for i, srv := range servers {
+		for _, tier := range []bgp.Tier{bgp.Premium, bgp.Standard} {
+			for _, dir := range []Direction{Download, Upload} {
+				specs = append(specs, TestSpec{
+					Region: "us-east1", Server: srv, Tier: tier, Dir: dir,
+					Time: start.Add(time.Duration(i) * time.Hour),
+				})
+			}
+		}
+	}
+
+	sim := New(topo, nil, Config{Seed: 7})
+	const goroutines = 8
+	results := make([][]TestResult, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]TestResult, len(specs))
+			for i, spec := range specs {
+				res, err := sim.Measure(spec)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				out[i] = res
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+
+	for g := 1; g < goroutines; g++ {
+		for i := range specs {
+			a, b := results[0][i], results[g][i]
+			if a.ThroughputMbps != b.ThroughputMbps || a.RTTms != b.RTTms || a.LossRate != b.LossRate || a.Link != b.Link {
+				t.Fatalf("goroutine %d spec %d diverged: %+v vs %+v", g, i, a, b)
+			}
+		}
+	}
+}

@@ -10,26 +10,37 @@ const (
 	fnvPrime  = 1099511628211
 )
 
-// hash64 is FNV-1a over the seed and keys.
-func hash64(seed int64, keys ...uint64) uint64 {
-	h := uint64(fnvOffset)
-	mix := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			h ^= (v >> (8 * i)) & 0xff
-			h *= fnvPrime
-		}
-	}
-	mix(uint64(seed))
-	for _, k := range keys {
-		mix(k)
-	}
-	// Final avalanche (splitmix64 finaliser) to decorrelate nearby keys.
+// fnvMix folds one 64-bit value into an FNV-1a state byte by byte,
+// low byte first. Unrolled: this is the simulator's innermost loop.
+func fnvMix(h, v uint64) uint64 {
+	h = (h ^ (v & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 8) & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 16) & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 24) & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 32) & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 40) & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 48) & 0xff)) * fnvPrime
+	h = (h ^ ((v >> 56) & 0xff)) * fnvPrime
+	return h
+}
+
+// fnvFinal applies the splitmix64 finaliser to decorrelate nearby keys.
+func fnvFinal(h uint64) uint64 {
 	h ^= h >> 30
 	h *= 0xbf58476d1ce4e5b9
 	h ^= h >> 27
 	h *= 0x94d049bb133111eb
 	h ^= h >> 31
 	return h
+}
+
+// hash64 is FNV-1a over the seed and keys.
+func hash64(seed int64, keys ...uint64) uint64 {
+	h := fnvMix(fnvOffset, uint64(seed))
+	for _, k := range keys {
+		h = fnvMix(h, k)
+	}
+	return fnvFinal(h)
 }
 
 // hash01 maps (seed, keys) to a uniform float64 in [0, 1).
@@ -43,11 +54,20 @@ func hashRange(seed int64, lo, hi float64, keys ...uint64) float64 {
 }
 
 // hashNorm maps (seed, keys) to an approximately standard normal value
-// using an Irwin-Hall sum of four uniforms.
+// using an Irwin-Hall sum of four uniforms. The four draws share the
+// (seed, keys) FNV prefix and differ only in a trailing salt, so the
+// prefix state is folded once and re-salted per draw — the same value
+// sequence hash01(seed, keys..., salt_i) would produce, at a quarter of
+// the mixing work and with no allocation.
 func hashNorm(seed int64, keys ...uint64) float64 {
+	h := fnvMix(fnvOffset, uint64(seed))
+	for _, k := range keys {
+		h = fnvMix(h, k)
+	}
 	s := 0.0
 	for i := uint64(0); i < 4; i++ {
-		s += hash01(seed, append(keys, 0x9e3779b97f4a7c15+i)...)
+		u := fnvFinal(fnvMix(h, 0x9e3779b97f4a7c15+i))
+		s += float64(u>>11) / (1 << 53)
 	}
 	// Sum of 4 U(0,1): mean 2, variance 4/12 -> scale to unit variance.
 	return (s - 2) / 0.5773502691896258

@@ -10,14 +10,17 @@
 // A Sim is safe for concurrent use. Measure, PingRTT, ForwardPath and the
 // segment helpers are pure per call: every stochastic choice is a hash of
 // (seed, key...), the Sim's own fields are read-only after New, and the
-// only shared mutable state — the BGP router's path-tree and link caches —
-// is internally locked. The parallel campaign engine in
-// internal/orchestrator relies on this to fan hourly rounds out across
-// goroutines without changing any measured value.
+// shared caches — the BGP router's route trees and link choices, and the
+// Sim's per-flow cache (flowcache.go) — serve hits as lock-free sync.Map
+// reads and singleflight their fills, which never changes a value (each
+// cached entry is a pure function of topology and seed). The parallel
+// campaign engine in internal/orchestrator relies on this to fan hourly
+// rounds out across goroutines without changing any measured value.
 package netsim
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
@@ -139,6 +142,13 @@ type Sim struct {
 	topo   *topology.Topology
 	router *bgp.Router
 	cfg    Config
+
+	// regionHashes interns the FNV hash of every region name so hot-path
+	// hash keys need no per-call string walk.
+	regionHashes map[string]uint64
+	// flows caches per-(region, server, tier, dir) routing decisions and
+	// static model inputs; see flowcache.go.
+	flows sync.Map
 }
 
 // New creates a simulator over the topology. A nil router is constructed
@@ -199,7 +209,21 @@ func New(t *topology.Topology, r *bgp.Router, cfg Config) *Sim {
 	if cfg.WANStretchFactor == 0 {
 		cfg.WANStretchFactor = d.WANStretchFactor
 	}
-	return &Sim{topo: t, router: r, cfg: cfg}
+	s := &Sim{topo: t, router: r, cfg: cfg}
+	s.regionHashes = make(map[string]uint64, len(t.Regions))
+	for _, reg := range t.Regions {
+		s.regionHashes[reg.Name] = regionKey(reg.Name)
+	}
+	return s
+}
+
+// regionHash returns the interned hash of a region name, falling back to
+// computing it for names outside the topology.
+func (s *Sim) regionHash(region string) uint64 {
+	if h, ok := s.regionHashes[region]; ok {
+		return h
+	}
+	return regionKey(region)
 }
 
 // Topology returns the simulated Internet.
@@ -234,7 +258,9 @@ type TestResult struct {
 	Tier           bgp.Tier
 }
 
-// Measure runs one modelled speed test.
+// Measure runs one modelled speed test. The flow's routing decision and
+// static model inputs come from the per-flow cache, so a steady-state call
+// does no path walk and near-zero allocation.
 func (s *Sim) Measure(spec TestSpec) (TestResult, error) {
 	if spec.Server == nil {
 		return TestResult{}, fmt.Errorf("netsim: nil server")
@@ -242,19 +268,13 @@ func (s *Sim) Measure(spec TestSpec) (TestResult, error) {
 	if spec.DurationSec <= 0 {
 		spec.DurationSec = 15
 	}
-	var choice bgp.EgressChoice
-	var err error
-	if spec.Dir == Download {
-		choice, err = s.router.IngressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
-	} else {
-		choice, err = s.router.EgressLink(spec.Region, spec.Server.ASN, spec.Server.City, spec.Tier)
-	}
+	fe, err := s.flowFor(spec)
 	if err != nil {
 		return TestResult{}, err
 	}
 
-	rtt := s.pathRTT(spec.Region, spec.Server.ASN, spec.Server.City, choice, spec.Tier, spec.Time, uint64(spec.Server.ID))
-	avail, loss := s.pathBandwidth(spec, choice, spec.Time)
+	rtt := fe.rttAt(s, spec.Time)
+	avail, loss := fe.bandwidthAt(s, spec, spec.Time)
 
 	tput := tcpmodel.Throughput(tcpmodel.FlowParams{
 		RTTms:          rtt,
@@ -263,20 +283,22 @@ func (s *Sim) Measure(spec TestSpec) (TestResult, error) {
 		DurationSec:    spec.DurationSec,
 		Streams:        s.cfg.ParallelStreams,
 	})
-	// Per-test multiplicative measurement noise.
+	// Per-test multiplicative measurement noise. The hash key includes the
+	// region so two regions measuring the same server in the same hour
+	// draw independent noise.
 	sigma := s.cfg.NoiseSigmaPremium
 	if spec.Tier == bgp.Standard {
 		sigma = s.cfg.NoiseSigmaStandard
 	}
-	n := hashNorm(s.cfg.Seed, uint64(spec.Server.ID), dayOf(spec.Time), uint64(spec.Time.Hour()), uint64(spec.Dir), uint64(spec.Tier), 0xa1)
+	n := hashNorm(s.cfg.Seed, fe.regionHash, uint64(spec.Server.ID), dayOf(spec.Time), uint64(spec.Time.Hour()), uint64(spec.Dir), uint64(spec.Tier), 0xa1)
 	tput *= clamp(1+sigma*n, 0.4, 1.6)
 
 	return TestResult{
 		ThroughputMbps: tput,
 		RTTms:          rtt,
 		LossRate:       loss,
-		Link:           choice.Link,
-		ASPath:         choice.Path,
+		Link:           fe.choice.Link,
+		ASPath:         fe.choice.Path,
 		Dir:            spec.Dir,
 		Tier:           spec.Tier,
 	}, nil
@@ -423,14 +445,38 @@ func (s *Sim) SegmentsFor(spec TestSpec) ([]Segment, error) {
 // pathRTT models the round-trip time between a region VM and an endpoint
 // (asn, city) through the chosen interconnect under a tier policy.
 func (s *Sim) pathRTT(region string, endASN ASN, endCity string, choice bgp.EgressChoice, tier bgp.Tier, t time.Time, flowKey uint64) float64 {
+	rtt := s.staticRTT(region, endASN, endCity, choice, tier)
+	// Queueing delay under congestion at the endpoint's local time.
+	endCityRec, ok := s.topo.CityOf(endCity)
+	if ok {
+		srvAS := s.topo.AS(endASN)
+		if srvAS != nil {
+			regionFactor := s.cfg.RegionCongestionFactor[region]
+			if regionFactor == 0 {
+				regionFactor = 1
+			}
+			dip := s.congestionDip(srvAS.Congestion, flowKey, endCityRec.UTCOffset, t, regionFactor)
+			rtt += dip * s.cfg.QueueDelayMaxMs
+		}
+	}
+	// Small jitter.
+	rtt *= clamp(1+0.03*hashNorm(s.cfg.Seed, flowKey, dayOf(t), uint64(t.Hour()), 0xc1), 0.9, 1.15)
+	return rtt
+}
+
+// staticRTT is the time-invariant portion of pathRTT: propagation, WAN
+// policy, and per-hop processing. The flow cache stores this partial sum so
+// steady-state calls skip the geometry entirely; the accumulation order
+// here must not change, or cached and uncached results diverge.
+func (s *Sim) staticRTT(region string, endASN ASN, endCity string, choice bgp.EgressChoice, tier bgp.Tier) float64 {
 	reg, _ := s.topo.Region(region)
 	regCoord, _ := s.topo.CityCoord(reg.City)
 	endCoord, ok := s.topo.CityCoord(endCity)
 	if !ok {
 		endCoord = regCoord
 	}
-	linkCoord, ok := s.topo.CityCoord(choice.Link.City)
-	if !ok {
+	linkCoord := choice.Link.Coord
+	if !choice.Link.CoordOK {
 		linkCoord = regCoord
 	}
 
@@ -450,28 +496,13 @@ func (s *Sim) pathRTT(region string, endASN ASN, endCity string, choice bgp.Egre
 	}
 	// Per-AS-hop processing.
 	rtt += float64(len(choice.Path)) * s.cfg.PerASHopMs
-	// Queueing delay under congestion at the endpoint's local time.
-	endCityRec, ok := s.topo.CityOf(endCity)
-	if ok {
-		srvAS := s.topo.AS(endASN)
-		if srvAS != nil {
-			regionFactor := s.cfg.RegionCongestionFactor[region]
-			if regionFactor == 0 {
-				regionFactor = 1
-			}
-			dip := s.congestionDip(srvAS.Congestion, flowKey, endCityRec.UTCOffset, t, regionFactor)
-			rtt += dip * s.cfg.QueueDelayMaxMs
-		}
-	}
-	// Small jitter.
-	rtt *= clamp(1+0.03*hashNorm(s.cfg.Seed, flowKey, dayOf(t), uint64(t.Hour()), 0xc1), 0.9, 1.15)
 	return rtt
 }
 
 // wanProfile returns the premium-tier WAN stretch factor (relative to the
 // public-Internet stretch) and additive penalty for an (AS, region) pair.
 func (s *Sim) wanProfile(asn ASN, region string) (factor, penaltyMs float64) {
-	key := []uint64{uint64(asn), regionKey(region), 0xe1}
+	key := []uint64{uint64(asn), s.regionHash(region), 0xe1}
 	r := hash01(s.cfg.Seed, key...)
 	switch {
 	case r < 0.25:

@@ -61,10 +61,10 @@ func (s *Sim) ForwardPath(region string, dstIP netip.Addr, dstASN ASN, dstCity s
 	// Intra-cloud hops: first-hop gateway and a backbone router. The
 	// backbone router is chosen per flow ID among parallel LAG members,
 	// which is what paris-traceroute keeps stable.
-	gw := cloudRouterIP(1, uint64(regionKey(region))%250)
+	gw := cloudRouterIP(1, uint64(s.regionHash(region))%250)
 	add(gw, cloud, 0.3, -1)
 	lag := flowID % 4
-	bb := cloudRouterIP(2, uint64(regionKey(region))%60*4+lag)
+	bb := cloudRouterIP(2, uint64(s.regionHash(region))%60*4+lag)
 	wanMs := geo.RTTMs(regCoord, linkCoord) * 0.82
 	add(bb, cloud, 0.6+wanMs*0.5, -1)
 
@@ -110,7 +110,7 @@ func (s *Sim) ForwardPath(region string, dstIP netip.Addr, dstASN ASN, dstCity s
 // VMAddr returns the address of a measurement VM instance in a region zone.
 // VM addresses stay inside the cloud's announced 15.0.0.0/10.
 func (s *Sim) VMAddr(region string, zoneIdx, vmIdx int) netip.Addr {
-	rk := regionKey(region) % 40
+	rk := s.regionHash(region) % 40
 	return netip.AddrFrom4([4]byte{15, byte(10 + rk), byte(zoneIdx), byte(10 + vmIdx)})
 }
 

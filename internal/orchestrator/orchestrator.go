@@ -23,6 +23,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
@@ -101,20 +102,42 @@ func (l *LockedSink) Record(m analysis.Measurement) {
 }
 
 // StoreSink indexes records into a time-series store. It is safe for
-// concurrent use: tsdb.Store serialises inserts internally.
+// concurrent use: tsdb.Store shards its lock internally, and the sink
+// interns one series handle per (server, region, tier, dir) so repeated
+// records skip tag construction and canonical-key rendering.
 type StoreSink struct {
 	Store *tsdb.Store
+
+	handles sync.Map // storeSinkKey -> *tsdb.Handle
+}
+
+// storeSinkKey identifies one record stream's series.
+type storeSinkKey struct {
+	server int
+	region string
+	tier   bgp.Tier
+	dir    netsim.Direction
 }
 
 // Record implements Sink.
 func (s *StoreSink) Record(m analysis.Measurement) {
-	// Insert errors are impossible for the generated tag values.
-	_ = s.Store.Insert("speedtest", tsdb.Tags{
-		"server": fmt.Sprintf("%d", m.ServerID),
-		"region": m.Region,
-		"tier":   m.Tier.String(),
-		"dir":    m.Dir.String(),
-	}, m.Time, map[string]float64{
+	key := storeSinkKey{server: m.ServerID, region: m.Region, tier: m.Tier, dir: m.Dir}
+	var h *tsdb.Handle
+	if v, ok := s.handles.Load(key); ok {
+		h = v.(*tsdb.Handle)
+	} else {
+		// Handle errors are impossible for the generated tag values.
+		h, _ = s.Store.Handle("speedtest", tsdb.Tags{
+			"server": strconv.Itoa(m.ServerID),
+			"region": m.Region,
+			"tier":   m.Tier.String(),
+			"dir":    m.Dir.String(),
+		})
+		if v, loaded := s.handles.LoadOrStore(key, h); loaded {
+			h = v.(*tsdb.Handle)
+		}
+	}
+	_ = h.Insert(m.Time, map[string]float64{
 		"mbps":   m.Mbps,
 		"rtt_ms": m.RTTms,
 		"loss":   m.Loss,
@@ -275,6 +298,20 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	if _, ok := topo.Region(cfg.Region); !ok {
 		return nil, fmt.Errorf("orchestrator: unknown region %q", cfg.Region)
 	}
+
+	// Precompute the routing trees every measurement will need — the tree
+	// toward the cloud (download ingress) and toward each server AS
+	// (upload egress) — so the first hourly round starts with caches hot.
+	// Warming is a pure cache fill: results are identical without it.
+	warmDsts := []bgp.ASN{topo.Cloud.ASN}
+	seen := map[bgp.ASN]bool{topo.Cloud.ASN: true}
+	for _, srv := range cfg.Servers {
+		if !seen[srv.ASN] {
+			seen[srv.ASN] = true
+			warmDsts = append(warmDsts, srv.ASN)
+		}
+	}
+	o.sim.Router().Warm(warmDsts, cfg.Parallelism)
 
 	// Deploy measurement VMs: enough for the hourly test load (two tests
 	// per server), per tier, spread across zones.

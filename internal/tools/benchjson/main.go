@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a JSON record of the hot-path numbers (ns/op, B/op, allocs/op per
+// benchmark). With -baseline it also joins pre-change numbers from a saved
+// bench output file and reports the speedup, so `make bench` produces a
+// self-contained before/after artifact (BENCH_hotpath.json).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
+	BaselineBytesPerOp  float64 `json:"baseline_b_per_op,omitempty"`
+	BaselineAllocsPerOp float64 `json:"baseline_allocs_per_op,omitempty"`
+	// Speedup is baseline ns/op divided by current ns/op (2.0 = twice as
+	// fast as the recorded baseline).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+type output struct {
+	Note       string   `json:"note"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "bench output file with pre-change numbers to join")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	base := map[string]result{}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		bs, err := parseBench(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		for _, b := range bs {
+			base[b.Name] = b
+		}
+	}
+
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	o := output{Note: "hot-path benchmarks; baselines are the pre-overhaul numbers from BENCH_baseline.txt"}
+	for _, n := range names {
+		r := cur[n]
+		if b, ok := base[n]; ok {
+			r.BaselineNsPerOp = b.NsPerOp
+			r.BaselineBytesPerOp = b.BytesPerOp
+			r.BaselineAllocsPerOp = b.AllocsPerOp
+			if r.NsPerOp > 0 {
+				r.Speedup = b.NsPerOp / r.NsPerOp
+			}
+		}
+		o.Benchmarks = append(o.Benchmarks, r)
+	}
+
+	enc, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBench extracts Benchmark lines from `go test -bench` output. The
+// trailing -N GOMAXPROCS suffix is stripped so names join across machines.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := map[string]result{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		res := result{Name: name}
+		res.Iterations, _ = strconv.ParseInt(fields[1], 10, 64)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out[res.Name] = res
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -18,8 +18,9 @@ type Topology struct {
 	Cloud   *AS
 	Regions []Region
 
-	ases   map[ASN]*AS
-	asList []*AS // stable generation order
+	ases    map[ASN]*AS
+	asList  []*AS       // stable generation order
+	asIndex map[ASN]int // ASN -> position in asList (contiguous AS index)
 
 	edges     []ASEdge
 	providers map[ASN][]ASN
@@ -30,8 +31,11 @@ type Topology struct {
 	linksByNeighbor map[ASN][]*Interconnect
 	linkByID        map[int]*Interconnect
 	visible         map[string]map[int]bool // region name -> set of link IDs
+	visibleDense    map[string][]bool       // region name -> link-ID-indexed set
 	probeAddr       map[int]netip.Addr      // link ID -> probe target
 	probeLink       map[netip.Prefix]int    // probe /24 -> link ID
+
+	regionByName map[string]Region
 
 	servers    []*Server
 	serverByID map[int]*Server
@@ -55,18 +59,23 @@ func New(cfg Config) (*Topology, error) {
 		Geo:             geo.DefaultDB(),
 		Regions:         Regions(),
 		ases:            make(map[ASN]*AS),
+		asIndex:         make(map[ASN]int),
 		providers:       make(map[ASN][]ASN),
 		customers:       make(map[ASN][]ASN),
 		peers:           make(map[ASN][]ASN),
 		linksByNeighbor: make(map[ASN][]*Interconnect),
 		linkByID:        make(map[int]*Interconnect),
 		visible:         make(map[string]map[int]bool),
+		regionByName:    make(map[string]Region),
 		probeAddr:       make(map[int]netip.Addr),
 		probeLink:       make(map[netip.Prefix]int),
 		serverByID:      make(map[int]*Server),
 		routers:         make(map[RouterID][]netip.Addr),
 		routerOfIP:      make(map[netip.Addr]RouterID),
 		prefixTable:     pfx2as.New(),
+	}
+	for _, r := range t.Regions {
+		t.regionByName[r.Name] = r
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	t.buildASes(rng)
@@ -75,6 +84,16 @@ func New(cfg Config) (*Topology, error) {
 	t.buildServers(rng)
 	t.buildEdgeVPs(rng)
 	t.buildPrefixTable()
+	// Dense visibility sets: link IDs are contiguous, so a region's usable
+	// subset flattens to one bool slice and IsVisible is two array reads.
+	t.visibleDense = make(map[string][]bool, len(t.visible))
+	for name, set := range t.visible {
+		dense := make([]bool, len(t.links))
+		for id := range set {
+			dense[id] = true
+		}
+		t.visibleDense[name] = dense
+	}
 	return t, nil
 }
 
@@ -92,6 +111,7 @@ var cloudPrefix = netip.PrefixFrom(netip.AddrFrom4([4]byte{15, 0, 0, 0}), 8)
 
 func (t *Topology) addAS(a *AS) *AS {
 	t.ases[a.ASN] = a
+	t.asIndex[a.ASN] = len(t.asList)
 	t.asList = append(t.asList, a)
 	return a
 }
@@ -455,6 +475,11 @@ func (t *Topology) buildInterconnects(rng *rand.Rand) {
 				Neighbor: nb.ASN,
 				City:     city,
 			}
+			if c, ok := t.Geo.Lookup(city); ok {
+				link.Coord = c.Coord()
+				link.CoordOK = true
+				link.UTCOffset = c.UTCOffset
+			}
 			nextLinkID++
 			idx := len(t.linksByNeighbor[nb.ASN])
 			t.allocLinkIPs(rng, link, nb, idx)
@@ -603,7 +628,7 @@ func (t *Topology) buildServers(rng *rand.Rand) {
 		s := &Server{
 			ID: nextID, Platform: platform, Host: host,
 			ASN: a.ASN, City: city, Country: c.Country, IP: ip,
-			AccessMbps: 1000, Lat: c.Lat, Lon: c.Lon,
+			AccessMbps: 1000, Lat: c.Lat, Lon: c.Lon, UTCOffset: c.UTCOffset,
 		}
 		if rng.Float64() < 0.2 {
 			s.AccessMbps = 10000
@@ -734,6 +759,19 @@ func (t *Topology) AS(asn ASN) *AS { return t.ases[asn] }
 // ASes returns all ASes in generation order (cloud first).
 func (t *Topology) ASes() []*AS { return t.asList }
 
+// NumASes returns the number of ASes.
+func (t *Topology) NumASes() int { return len(t.asList) }
+
+// ASIndex returns the contiguous index of an AS: its position in the stable
+// generation order, usable as a dense-slice key by route computations.
+func (t *Topology) ASIndex(asn ASN) (int, bool) {
+	i, ok := t.asIndex[asn]
+	return i, ok
+}
+
+// ASAt returns the AS at a contiguous index (the inverse of ASIndex).
+func (t *Topology) ASAt(i int) *AS { return t.asList[i] }
+
 // Providers returns the AS's transit providers.
 func (t *Topology) Providers(asn ASN) []ASN { return t.providers[asn] }
 
@@ -767,7 +805,8 @@ func (t *Topology) CloudNeighbors() []ASN {
 
 // IsVisible reports whether a link is usable from a region.
 func (t *Topology) IsVisible(region string, linkID int) bool {
-	return t.visible[region][linkID]
+	dense := t.visibleDense[region]
+	return linkID >= 0 && linkID < len(dense) && dense[linkID]
 }
 
 // VisibleLinks returns the interconnects usable from a region, in ID order.
@@ -790,11 +829,15 @@ func (t *Topology) ProbeTarget(linkID int) (netip.Addr, bool) {
 }
 
 // LinkForProbe resolves a probe address back to the engineered link, or -1.
+// Probe prefixes are /24s, so masking the address to its /24 turns the old
+// O(prefixes) scan into one map lookup.
 func (t *Topology) LinkForProbe(addr netip.Addr) int {
-	for p, id := range t.probeLink {
-		if p.Contains(addr) {
-			return id
-		}
+	p, err := addr.Prefix(24)
+	if err != nil {
+		return -1
+	}
+	if id, ok := t.probeLink[p]; ok {
+		return id
 	}
 	return -1
 }
@@ -837,12 +880,8 @@ func (t *Topology) RouterOf(ip netip.Addr) RouterID {
 
 // Region returns the region with the given name.
 func (t *Topology) Region(name string) (Region, bool) {
-	for _, r := range t.Regions {
-		if r.Name == name {
-			return r, true
-		}
-	}
-	return Region{}, false
+	r, ok := t.regionByName[name]
+	return r, ok
 }
 
 // CityCoord returns the coordinates of a city in the embedded geo DB.

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"net/netip"
 
+	"github.com/clasp-measurement/clasp/internal/geo"
 	"github.com/clasp-measurement/clasp/internal/pfx2as"
 )
 
@@ -173,6 +174,12 @@ type Interconnect struct {
 	Lossy bool
 	// LossRate is the average loss rate when Lossy.
 	LossRate float64
+	// Coord/CoordOK/UTCOffset intern the facility city's geo record so the
+	// routing and simulation hot paths need no per-call name lookup.
+	// CoordOK is false when City is absent from the geo DB.
+	Coord     geo.Coord
+	CoordOK   bool
+	UTCOffset int
 }
 
 // Platform identifies a speed test platform.
@@ -214,6 +221,8 @@ type Server struct {
 	AccessMbps float64
 	// Lat/Lon duplicate the city coordinates for the Fig. 7 maps.
 	Lat, Lon float64
+	// UTCOffset interns the city's UTC offset for the diurnal model.
+	UTCOffset int
 }
 
 // Region is one cloud region.

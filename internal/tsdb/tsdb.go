@@ -50,19 +50,56 @@ type Series struct {
 	Points      []Point // kept sorted by time
 }
 
-// Store is a thread-safe collection of series.
-type Store struct {
+// numShards stripes the store lock by series-key hash so concurrent
+// inserts into different series rarely contend. Must be a power of two.
+const numShards = 16
+
+type shard struct {
 	mu     sync.RWMutex
 	series map[string]*Series
 }
 
+// Store is a thread-safe collection of series. The lock is sharded by
+// series key: writers to distinct series take distinct locks, while
+// whole-store readers (Query, WriteTo, SeriesCount) lock every shard in
+// order for a consistent snapshot.
+type Store struct {
+	shards [numShards]shard
+}
+
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{series: make(map[string]*Series)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].series = make(map[string]*Series)
+	}
+	return s
 }
 
 func seriesKey(measurement string, tags Tags) string {
 	return measurement + tags.canonical()
+}
+
+// shardFor hashes a series key (FNV-1a) onto its shard.
+func (s *Store) shardFor(key string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h&(numShards-1)]
+}
+
+// lockAll read-locks every shard in index order and returns the unlock.
+func (s *Store) lockAll() func() {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	return func() {
+		for i := range s.shards {
+			s.shards[i].mu.RUnlock()
+		}
+	}
 }
 
 func validateIdent(s string) error {
@@ -101,35 +138,104 @@ func (s *Store) Insert(measurement string, tags Tags, at time.Time, fields map[s
 		cp[k] = v
 	}
 	key := seriesKey(measurement, tags)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sr := s.series[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sr := sh.series[key]
 	if sr == nil {
 		tcp := make(Tags, len(tags))
 		for k, v := range tags {
 			tcp[k] = v
 		}
 		sr = &Series{Measurement: measurement, Tags: tcp}
-		s.series[key] = sr
+		sh.series[key] = sr
 	}
-	p := Point{Time: at, Fields: cp}
+	sr.insertPoint(Point{Time: at, Fields: cp})
+	return nil
+}
+
+// insertPoint adds a point keeping Points time-sorted. Callers hold the
+// owning shard's write lock.
+func (sr *Series) insertPoint(p Point) {
+	at := p.Time
 	// Fast path: append in time order.
 	if n := len(sr.Points); n == 0 || !at.Before(sr.Points[n-1].Time) {
 		sr.Points = append(sr.Points, p)
-		return nil
+		return
 	}
 	idx := sort.Search(len(sr.Points), func(i int) bool { return sr.Points[i].Time.After(at) })
 	sr.Points = append(sr.Points, Point{})
 	copy(sr.Points[idx+1:], sr.Points[idx:])
 	sr.Points[idx] = p
+}
+
+// Handle is an interned reference to one series: the canonical tag string
+// is rendered and hashed once, so repeated inserts into the same series
+// (the orchestrator's sink pattern) skip key construction entirely.
+type Handle struct {
+	sh *shard
+	sr *Series
+}
+
+// Handle interns a (measurement, tags) series, creating it if absent. Tags
+// are copied; later mutation of the argument does not affect the handle.
+func (s *Store) Handle(measurement string, tags Tags) (*Handle, error) {
+	if err := validateIdent(measurement); err != nil {
+		return nil, err
+	}
+	for k, v := range tags {
+		if err := validateIdent(k); err != nil {
+			return nil, err
+		}
+		if err := validateIdent(v); err != nil {
+			return nil, err
+		}
+	}
+	key := seriesKey(measurement, tags)
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sr := sh.series[key]
+	if sr == nil {
+		tcp := make(Tags, len(tags))
+		for k, v := range tags {
+			tcp[k] = v
+		}
+		sr = &Series{Measurement: measurement, Tags: tcp}
+		sh.series[key] = sr
+	}
+	return &Handle{sh: sh, sr: sr}, nil
+}
+
+// Insert adds a point to the handle's series. Fields are copied. Equivalent
+// to Store.Insert with the handle's measurement and tags.
+func (h *Handle) Insert(at time.Time, fields map[string]float64) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("tsdb: point without fields")
+	}
+	for k := range fields {
+		if err := validateIdent(k); err != nil {
+			return err
+		}
+	}
+	cp := make(map[string]float64, len(fields))
+	for k, v := range fields {
+		cp[k] = v
+	}
+	h.sh.mu.Lock()
+	defer h.sh.mu.Unlock()
+	h.sr.insertPoint(Point{Time: at, Fields: cp})
 	return nil
 }
 
 // SeriesCount returns the number of distinct series.
 func (s *Store) SeriesCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.series)
+	defer s.lockAll()()
+	n := 0
+	for i := range s.shards {
+		n += len(s.shards[i].series)
+	}
+	return n
 }
 
 // Query selects points from series of a measurement whose tags match all
@@ -137,28 +243,31 @@ func (s *Store) SeriesCount() int {
 // Zero times disable that bound. Results are grouped per series, sorted by
 // series key.
 func (s *Store) Query(measurement string, match Tags, from, to time.Time) []Series {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	defer s.lockAll()()
+	byKey := make(map[string]*Series)
 	keys := make([]string, 0)
-	for k, sr := range s.series {
-		if sr.Measurement != measurement {
-			continue
-		}
-		ok := true
-		for mk, mv := range match {
-			if sr.Tags[mk] != mv {
-				ok = false
-				break
+	for i := range s.shards {
+		for k, sr := range s.shards[i].series {
+			if sr.Measurement != measurement {
+				continue
 			}
-		}
-		if ok {
-			keys = append(keys, k)
+			ok := true
+			for mk, mv := range match {
+				if sr.Tags[mk] != mv {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keys = append(keys, k)
+				byKey[k] = sr
+			}
 		}
 	}
 	sort.Strings(keys)
 	var out []Series
 	for _, k := range keys {
-		sr := s.series[k]
+		sr := byKey[k]
 		var pts []Point
 		for _, p := range sr.Points {
 			if !from.IsZero() && p.Time.Before(from) {
@@ -288,17 +397,20 @@ func GroupByTime(sr Series, field string, window time.Duration, agg Aggregator) 
 // WriteTo serialises the store in InfluxDB line protocol, sorted by series
 // key then time.
 func (s *Store) WriteTo(w io.Writer) (int64, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	keys := make([]string, 0, len(s.series))
-	for k := range s.series {
-		keys = append(keys, k)
+	defer s.lockAll()()
+	byKey := make(map[string]*Series)
+	keys := make([]string, 0)
+	for i := range s.shards {
+		for k, sr := range s.shards[i].series {
+			keys = append(keys, k)
+			byKey[k] = sr
+		}
 	}
 	sort.Strings(keys)
 	bw := bufio.NewWriter(w)
 	var n int64
 	for _, k := range keys {
-		sr := s.series[k]
+		sr := byKey[k]
 		for _, p := range sr.Points {
 			fields := make([]string, 0, len(p.Fields))
 			for fk := range p.Fields {
