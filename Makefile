@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-all bench-smoke ci
+.PHONY: build test race vet bench bench-all bench-smoke obs-smoke ci
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,18 @@ race:
 # bench runs the hot-path benchmarks (steady-state Measure, cold Measure,
 # sharded TSDB ingest) and records ns/op and allocs/op — joined with the
 # pre-overhaul baselines from BENCH_baseline.txt — in BENCH_hotpath.json.
+# A second pass records the observability numbers in BENCH_obs.json:
+# MeasureWarm vs MeasureWarmObs is the metrics-enabled overhead (budget 5%),
+# and the BenchmarkObs* entries pin the disabled paths at 0 allocs/op.
 bench:
 	$(GO) test -run=^$$ -bench='BenchmarkMeasure|BenchmarkInsert' -benchmem \
 		./internal/netsim/ ./internal/tsdb/ | tee /dev/stderr | \
 		$(GO) run ./internal/tools/benchjson -baseline BENCH_baseline.txt -out BENCH_hotpath.json
+	$(GO) test -run=^$$ -bench='BenchmarkObs|BenchmarkMeasureWarm' -benchmem \
+		./internal/obs/ ./internal/netsim/ | tee /dev/stderr | \
+		$(GO) run ./internal/tools/benchjson \
+		-note "observability: MeasureWarm vs MeasureWarmObs is the metrics-enabled overhead on the steady-state campaign path (budget 5%); ObsDisabled* pin the disabled paths at 0 allocs/op" \
+		-out BENCH_obs.json
 
 # bench-all runs every benchmark in the repo.
 bench-all:
@@ -32,6 +40,14 @@ bench-smoke:
 	$(GO) test -run=^$$ -bench='BenchmarkMeasure|BenchmarkInsert' -benchtime=100x \
 		./internal/netsim/ ./internal/tsdb/
 
+# obs-smoke runs a tiny metrics-enabled campaign and asserts the Prometheus
+# dump parses, contains the core series (cache hit/miss, measure latency,
+# shard inserts, campaign progress), has no duplicate or unregistered
+# series, and agrees with the JSON snapshot.
+obs-smoke:
+	$(GO) run ./internal/tools/obssmoke
+
 # ci is the gate for every change: tier-1 build + tests, static checks,
-# the full suite under the race detector, and a benchmark smoke run.
-ci: build test vet race bench-smoke
+# the full suite under the race detector, a benchmark smoke run, and the
+# observability smoke gate.
+ci: build test vet race bench-smoke obs-smoke

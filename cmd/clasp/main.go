@@ -22,11 +22,16 @@
 //	                with the topology)
 //	-parallelism N  concurrent VM workers per campaign round (default 1;
 //	                results are identical at any value for the same seed)
+//	-metrics-out F  enable metrics; write a Prometheus text dump to F and a
+//	                JSON snapshot to F.json when the command finishes
+//	-tracelog F     enable tracing; append span events as JSON lines to F
 //	-cpuprofile F   write a CPU profile to file F
 //	-memprofile F   write an allocation profile to file F on exit
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +41,7 @@ import (
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/core"
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/selection"
 
 	clasp "github.com/clasp-measurement/clasp"
@@ -60,6 +66,8 @@ func run(args []string) error {
 	days := fs.Int("days", 30, "campaign length in virtual days")
 	samples := fs.Int("samples", 0, "differential-scan minimum tuple samples")
 	parallelism := fs.Int("parallelism", 1, "concurrent VM workers per campaign round")
+	metricsOut := fs.String("metrics-out", "", "enable metrics and write Prometheus text to this file (JSON snapshot beside it as <file>.json)")
+	tracelog := fs.String("tracelog", "", "enable tracing and write span events as JSON lines to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 
@@ -103,6 +111,27 @@ func run(args []string) error {
 		}
 	}
 
+	// Telemetry: either flag turns the obs registry on; campaign results
+	// are bit-identical with it on or off. The metrics dump is written
+	// after the command finishes (even a failed one — a partial campaign's
+	// telemetry is exactly what a failure investigation wants).
+	if *metricsOut != "" || *tracelog != "" {
+		obs.SetEnabled(true)
+	}
+	if *tracelog != "" {
+		f, err := os.Create(*tracelog)
+		if err != nil {
+			return fmt.Errorf("tracelog: %w", err)
+		}
+		bw := bufio.NewWriter(f)
+		obs.SetTraceWriter(bw)
+		defer func() {
+			obs.SetTraceWriter(nil)
+			_ = bw.Flush()
+			f.Close()
+		}()
+	}
+
 	p, err := clasp.New(clasp.Options{Seed: *seed, Scale: *scale, Parallelism: *parallelism})
 	if err != nil {
 		return err
@@ -110,6 +139,20 @@ func run(args []string) error {
 	eng := p.Engine()
 	out := os.Stdout
 
+	cmdErr := dispatch(cmd, positional, p, eng, out, *days, minSamples)
+	if *metricsOut != "" {
+		if err := writeMetricsDump(*metricsOut); err != nil {
+			if cmdErr != nil {
+				return fmt.Errorf("%w (also: %v)", cmdErr, err)
+			}
+			return err
+		}
+	}
+	return cmdErr
+}
+
+// dispatch runs one subcommand against an initialised platform.
+func dispatch(cmd string, positional []string, p *clasp.Platform, eng *core.CLASP, out *os.File, days, minSamples int) error {
 	switch cmd {
 	case "select":
 		if len(positional) != 1 {
@@ -137,7 +180,7 @@ func run(args []string) error {
 		if len(positional) != 1 {
 			return fmt.Errorf("usage: clasp campaign <region>")
 		}
-		res, err := p.RunTopologyCampaign(positional[0], *days)
+		res, err := p.RunTopologyCampaign(positional[0], days)
 		if err != nil {
 			return err
 		}
@@ -166,11 +209,31 @@ func run(args []string) error {
 		if len(positional) != 1 {
 			return fmt.Errorf("usage: clasp report <table1|fig2|...|all>")
 		}
-		return report(out, p, newCampaignCache(), positional[0], *days, minSamples)
+		return report(out, p, newCampaignCache(), positional[0], days, minSamples)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// writeMetricsDump writes the end-of-run telemetry: Prometheus text
+// exposition to path and the structured JSON snapshot to path.json.
+func writeMetricsDump(path string) error {
+	var buf strings.Builder
+	if err := obs.Default().WriteProm(&buf); err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	js, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := os.WriteFile(path+".json", append(js, '\n'), 0o644); err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return nil
 }
 
 // campaignCache shares campaign results across the artifacts of one

@@ -10,10 +10,12 @@
 //
 // Flags:
 //
-//	-duration D    per-direction duration (default 5s)
-//	-down-cap M    shape the receive direction at M Mbps (0 = unshaped)
-//	-up-cap M      shape the send direction at M Mbps (0 = unshaped)
-//	-json          print the result as JSON
+//	-duration D     per-direction duration (default 5s)
+//	-down-cap M     shape the receive direction at M Mbps (0 = unshaped)
+//	-up-cap M       shape the send direction at M Mbps (0 = unshaped)
+//	-json           print the result as JSON
+//	-metrics-out F  enable metrics; write a Prometheus dump of the client's
+//	                transfer counters to F after the test
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/shaper"
 	"github.com/clasp-measurement/clasp/internal/speedtest"
 	"github.com/clasp-measurement/clasp/internal/speedtest/ndt7"
@@ -40,7 +43,11 @@ func main() {
 	downCap := flag.Float64("down-cap", 0, "receive shaping in Mbps (tc substitute)")
 	upCap := flag.Float64("up-cap", 0, "send shaping in Mbps (tc substitute)")
 	asJSON := flag.Bool("json", false, "JSON output")
+	metricsOut := flag.String("metrics-out", "", "enable metrics and write a Prometheus text dump to this file")
 	flag.Parse()
+	if *metricsOut != "" {
+		obs.SetEnabled(true)
+	}
 
 	dial := func(ctx context.Context, addr string) (net.Conn, error) {
 		d := net.Dialer{Timeout: 10 * time.Second}
@@ -73,6 +80,20 @@ func main() {
 	res, err := client.Run(ctx, *server)
 	if err != nil {
 		log.Fatalf("speedtest: %v", err)
+	}
+	if *metricsOut != "" {
+		r := obs.Default()
+		r.Counter("speedtest_bytes_total", "platform", res.Platform, "dir", "down").Add(uint64(res.BytesDown))
+		r.Counter("speedtest_bytes_total", "platform", res.Platform, "dir", "up").Add(uint64(res.BytesUp))
+		r.Histogram("speedtest_latency_ms").Observe(res.LatencyMs)
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("speedtest: metrics-out: %v", err)
+		}
+		if err := r.WriteProm(f); err != nil {
+			log.Fatalf("speedtest: metrics-out: %v", err)
+		}
+		f.Close()
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

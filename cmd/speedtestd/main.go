@@ -8,10 +8,14 @@
 //	speedtestd [-ookla :8080] [-http :8081] [-duration 10s]
 //
 // The HTTP listener serves ndt7 (/ndt/v7/download, /ndt/v7/upload), the
-// Xfinity endpoints (/speedtest/*), and /servers.json.
+// Xfinity endpoints (/speedtest/*), and /servers.json. Live telemetry is
+// exposed on the same listener: GET /metrics serves the obs registry in
+// Prometheus text exposition format and /debug/vars serves expvar JSON
+// (including the full registry snapshot under the "clasp_obs" key).
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
@@ -19,17 +23,34 @@ import (
 	"net/http"
 	"time"
 
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/speedtest"
 	"github.com/clasp-measurement/clasp/internal/speedtest/ndt7"
 	"github.com/clasp-measurement/clasp/internal/speedtest/ookla"
 	"github.com/clasp-measurement/clasp/internal/speedtest/xfinity"
 )
 
+// obsRequests counts every HTTP request the daemon serves, by method.
+var obsRequests = obs.Default().Counter("speedtestd_http_requests_total")
+
+// countRequests wraps a handler with the request counter.
+func countRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		obsRequests.Inc()
+		next.ServeHTTP(w, r)
+	})
+}
+
 func main() {
 	ooklaAddr := flag.String("ookla", "127.0.0.1:8080", "Ookla protocol listen address")
 	httpAddr := flag.String("http", "127.0.0.1:8081", "HTTP listen address (ndt7 + xfinity + directory)")
 	duration := flag.Duration("duration", 10*time.Second, "ndt7 test duration")
 	flag.Parse()
+
+	// A long-lived daemon always runs with live metrics on; the registry's
+	// cost is a handful of atomic adds per request.
+	obs.SetEnabled(true)
+	expvar.Publish("clasp_obs", expvar.Func(func() any { return obs.Default().Snapshot() }))
 
 	srv, err := ookla.Listen(*ooklaAddr)
 	if err != nil {
@@ -59,9 +80,14 @@ func main() {
 	mux.Handle(xfinity.DownloadPath, xf)
 	mux.Handle(xfinity.UploadPath, xf)
 	mux.Handle("/servers.json", directory)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = obs.Default().WriteProm(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "clasp speedtestd: /servers.json, /ndt/v7/{download,upload}, /speedtest/{latency,download,upload}")
+		fmt.Fprintln(w, "clasp speedtestd: /servers.json, /ndt/v7/{download,upload}, /speedtest/{latency,download,upload}, /metrics, /debug/vars")
 	})
 
-	log.Fatal(http.Serve(ln, mux))
+	log.Fatal(http.Serve(ln, countRequests(mux)))
 }

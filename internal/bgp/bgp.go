@@ -21,9 +21,23 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/clasp-measurement/clasp/internal/geo"
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/topology"
+)
+
+// Route-cache telemetry (see DESIGN.md §8). Updates no-op while the obs
+// registry is disabled, so the lock-free cache hit paths stay at their PR 2
+// cost.
+var (
+	obsTreeHits   = obs.Default().Counter("bgp_tree_cache_hits_total")
+	obsTreeMisses = obs.Default().Counter("bgp_tree_cache_misses_total")
+	obsTreeFills  = obs.Default().Counter("bgp_tree_fills_total")
+	obsLinkHits   = obs.Default().Counter("bgp_link_cache_hits_total")
+	obsLinkMisses = obs.Default().Counter("bgp_link_cache_misses_total")
+	obsWarmDur    = obs.Default().Histogram("bgp_warm_duration_ns")
 )
 
 // ASN aliases the topology AS number type.
@@ -145,13 +159,15 @@ func NewRouter(t *topology.Topology) *Router {
 // TreeTo returns the (cached) routing tree toward dst.
 func (r *Router) TreeTo(dst ASN) *Tree {
 	if e, ok := r.trees.Load(dst); ok {
+		obsTreeHits.Inc()
 		en := e.(*treeEntry)
-		en.once.Do(func() { en.tree = r.compute(dst) })
+		en.once.Do(func() { obsTreeFills.Inc(); en.tree = r.compute(dst) })
 		return en.tree
 	}
+	obsTreeMisses.Inc()
 	e, _ := r.trees.LoadOrStore(dst, new(treeEntry))
 	en := e.(*treeEntry)
-	en.once.Do(func() { en.tree = r.compute(dst) })
+	en.once.Do(func() { obsTreeFills.Inc(); en.tree = r.compute(dst) })
 	return en.tree
 }
 
@@ -163,6 +179,8 @@ func (r *Router) Warm(dsts []ASN, parallelism int) {
 	if parallelism < 1 {
 		parallelism = 1
 	}
+	start := time.Now()
+	defer func() { obsWarmDur.Observe(float64(time.Since(start))) }()
 	sem := make(chan struct{}, parallelism)
 	var wg sync.WaitGroup
 	for _, dst := range dsts {
@@ -444,8 +462,10 @@ func (r *Router) IngressLink(region string, srcASN ASN, srcCity string, tier Tie
 func (r *Router) nearestVisibleLink(region string, neighbor ASN, anchorCity string) (*topology.Interconnect, error) {
 	key := linkCacheKey{region: region, neighbor: neighbor, anchor: anchorCity}
 	if l, ok := r.linkCache.Load(key); ok {
+		obsLinkHits.Inc()
 		return l.(*topology.Interconnect), nil
 	}
+	obsLinkMisses.Inc()
 	t := r.topo
 	anchor, ok := t.CityCoord(anchorCity)
 	if !ok {

@@ -21,8 +21,17 @@ import (
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/topology"
 )
+
+// Billing telemetry (see DESIGN.md §8): egress bytes metered per network
+// tier, mirroring the asymmetric premium/standard billing the paper's
+// deployment budget is built around.
+var obsEgressBytes = map[bgp.Tier]*obs.Counter{
+	bgp.Premium:  obs.Default().Counter("cloud_egress_bytes_total", "tier", "premium"),
+	bgp.Standard: obs.Default().Counter("cloud_egress_bytes_total", "tier", "standard"),
+}
 
 // MachineType describes a VM shape.
 type MachineType struct {
@@ -216,6 +225,9 @@ func (p *Platform) ListVMs(region string) []*VM {
 // traffic toward the Internet). GCP charges egress only (§3.2's rationale
 // for the asymmetric caps).
 func (p *Platform) RecordEgress(tier bgp.Tier, bytes int64) {
+	if c := obsEgressBytes[tier]; c != nil && bytes > 0 {
+		c.Add(uint64(bytes))
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.egressGB[tier] += float64(bytes) / 1e9

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/topology"
 )
 
@@ -77,6 +78,35 @@ func BenchmarkMeasureWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % len(specs)
+			if _, err := sim.Measure(specs[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMeasureWarmObs is BenchmarkMeasureWarm with the obs registry
+// enabled: the delta between the two is the metrics-enabled overhead on the
+// steady-state campaign path, recorded side by side in BENCH_obs.json
+// (budget: within 5% — the latency histogram's 1-in-16 sampling and the
+// flow-cache counter atomics are sized for that).
+func BenchmarkMeasureWarmObs(b *testing.B) {
+	topo, specs := benchSetup(b)
+	sim := New(topo, nil, Config{Seed: 7})
+	for _, sp := range specs {
+		if _, err := sim.Measure(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
 	var next atomic.Int64
 	b.ReportAllocs()
 	b.SetParallelism(4)

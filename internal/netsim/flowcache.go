@@ -64,7 +64,10 @@ type flowHolder struct {
 func (s *Sim) flowFor(spec TestSpec) (*flowEntry, error) {
 	key := flowKeyT{region: spec.Region, server: spec.Server.ID, tier: spec.Tier, dir: spec.Dir}
 	v, ok := s.flows.Load(key)
-	if !ok {
+	if ok {
+		obsFlowHits.Inc()
+	} else {
+		obsFlowMisses.Inc()
 		v, _ = s.flows.LoadOrStore(key, new(flowHolder))
 	}
 	h := v.(*flowHolder)

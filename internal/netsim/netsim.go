@@ -268,6 +268,11 @@ func (s *Sim) Measure(spec TestSpec) (TestResult, error) {
 	if spec.DurationSec <= 0 {
 		spec.DurationSec = 15
 	}
+	var timeStart time.Time
+	timed := sampleMeasure()
+	if timed {
+		timeStart = time.Now()
+	}
 	fe, err := s.flowFor(spec)
 	if err != nil {
 		return TestResult{}, err
@@ -293,6 +298,9 @@ func (s *Sim) Measure(spec TestSpec) (TestResult, error) {
 	n := hashNorm(s.cfg.Seed, fe.regionHash, uint64(spec.Server.ID), dayOf(spec.Time), uint64(spec.Time.Hour()), uint64(spec.Dir), uint64(spec.Tier), 0xa1)
 	tput *= clamp(1+sigma*n, 0.4, 1.6)
 
+	if timed {
+		obsMeasureLat.Observe(float64(time.Since(timeStart)))
+	}
 	return TestResult{
 		ThroughputMbps: tput,
 		RTTms:          rtt,

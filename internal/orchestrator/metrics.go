@@ -1,0 +1,83 @@
+package orchestrator
+
+import (
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/obs"
+)
+
+// campaignPhases are the labelled stages of one campaign Run whose
+// wall-clock time is accrued into campaign_phase_seconds_total.
+var campaignPhases = []string{"warm", "deploy", "measure", "emit", "traceroute"}
+
+// campaignMetrics holds one region's campaign-progress series (see
+// DESIGN.md §8). Registration is idempotent, so repeated campaigns in the
+// same region accumulate into the same counters. All methods are safe on a
+// nil receiver so tests can exercise orchestrator internals without
+// constructing metrics.
+type campaignMetrics struct {
+	scheduled   *obs.Counter
+	completed   *obs.Counter
+	captures    *obs.Counter
+	traceroutes *obs.Counter
+	snapshots   *obs.Counter
+	phase       map[string]*obs.Gauge
+}
+
+func newCampaignMetrics(region string) *campaignMetrics {
+	r := obs.Default()
+	m := &campaignMetrics{
+		scheduled:   r.Counter("campaign_tests_scheduled_total", "region", region),
+		completed:   r.Counter("campaign_tests_completed_total", "region", region),
+		captures:    r.Counter("campaign_captures_total", "region", region),
+		traceroutes: r.Counter("campaign_traceroutes_total", "region", region),
+		snapshots:   r.Counter("campaign_someta_snapshots_total", "region", region),
+		phase:       make(map[string]*obs.Gauge, len(campaignPhases)),
+	}
+	for _, p := range campaignPhases {
+		m.phase[p] = r.Gauge("campaign_phase_seconds_total", "region", region, "phase", p)
+	}
+	return m
+}
+
+// phaseDone accrues wall-clock seconds since start into one phase's gauge.
+// The gauge is cumulative across hourly rounds (a per-phase stopwatch), so
+// a campaign's final dump shows where its runtime went.
+func (m *campaignMetrics) phaseDone(phase string, start time.Time) {
+	if m == nil {
+		return
+	}
+	if g := m.phase[phase]; g != nil {
+		g.Add(time.Since(start).Seconds())
+	}
+}
+
+func (m *campaignMetrics) addScheduled(n int) {
+	if m != nil {
+		m.scheduled.Add(uint64(n))
+	}
+}
+
+func (m *campaignMetrics) incCompleted() {
+	if m != nil {
+		m.completed.Inc()
+	}
+}
+
+func (m *campaignMetrics) incCaptures() {
+	if m != nil {
+		m.captures.Inc()
+	}
+}
+
+func (m *campaignMetrics) incTraceroutes() {
+	if m != nil {
+		m.traceroutes.Inc()
+	}
+}
+
+func (m *campaignMetrics) incSnapshots() {
+	if m != nil {
+		m.snapshots.Inc()
+	}
+}

@@ -1,0 +1,186 @@
+package orchestrator
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/obs"
+	"github.com/clasp-measurement/clasp/internal/someta"
+)
+
+func TestLatestSnapshot(t *testing.T) {
+	// Regression for the capture path: slicing Snapshots()[len-1:] panicked
+	// on an empty collector; latestSnapshot must return nil instead.
+	if got := latestSnapshot(nil); got != nil {
+		t.Errorf("latestSnapshot(nil) = %v, want nil", got)
+	}
+	if got := latestSnapshot([]someta.Snapshot{}); got != nil {
+		t.Errorf("latestSnapshot(empty) = %v, want nil", got)
+	}
+	snaps := []someta.Snapshot{
+		{Hostname: "a"}, {Hostname: "b"}, {Hostname: "c"},
+	}
+	got := latestSnapshot(snaps)
+	if len(got) != 1 || got[0].Hostname != "c" {
+		t.Errorf("latestSnapshot = %+v, want one-element slice holding the newest", got)
+	}
+}
+
+func TestCaptureTestUploadsLatestSnapshotOnly(t *testing.T) {
+	f := setup(t)
+	srv := f.topo.Servers()[0]
+	at := time.Date(2020, 5, 1, 3, 0, 0, 0, time.UTC)
+	collector := someta.NewCollector("vm-cap", nil)
+	// Pre-load history: the meta artifact must hold only the snapshot taken
+	// at capture time, not the whole campaign's history.
+	collector.Snap(at.Add(-2 * time.Hour))
+	collector.Snap(at.Add(-1 * time.Hour))
+
+	res := netsim.TestResult{ThroughputMbps: 80, RTTms: 40, LossRate: 0.001}
+	cfg := Config{Region: "us-east1", Seed: 3, TestDurationSec: 15}
+	if err := f.orch.captureTest(cfg, srv, cfg.withDefaults().Tiers[0], at, res, collector, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	key := "us-east1/someta/2020-05-01/server-" + strconv.Itoa(srv.ID) + "-premium.json"
+	data, ok := f.bucket.Get(key)
+	if !ok {
+		t.Fatalf("meta artifact %s not uploaded", key)
+	}
+	snaps, err := someta.ReadJSON(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Fatalf("meta artifact holds %d snapshots, want 1", len(snaps))
+	}
+	if !snaps[0].Timestamp.Equal(at) {
+		t.Errorf("uploaded snapshot at %v, want capture time %v", snaps[0].Timestamp, at)
+	}
+}
+
+// TestMetricsDoNotChangeResults pins the disabled-path invariant from the
+// obs package doc: a campaign produces bit-identical measurements and
+// reports whether metrics and tracing are enabled or not — telemetry never
+// feeds back into measurement arithmetic.
+func TestMetricsDoNotChangeResults(t *testing.T) {
+	run := func(enabled bool, trace *bytes.Buffer) ([]byte, *Report) {
+		f := setup(t)
+		if enabled {
+			obs.SetEnabled(true)
+			obs.SetTraceWriter(trace)
+			defer func() {
+				obs.SetTraceWriter(nil)
+				obs.SetEnabled(false)
+			}()
+		}
+		sink := &SliceSink{}
+		rep, err := f.orch.Run(Config{
+			Region:          "us-east1",
+			Servers:         f.topo.ServersInCountry("US")[:6],
+			Days:            1,
+			Seed:            99,
+			CaptureEvery:    5,
+			TracerouteEvery: 1,
+			Parallelism:     2,
+		}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := json.Marshal(sink.Out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enc, rep
+	}
+
+	plain, repPlain := run(false, nil)
+	var trace bytes.Buffer
+	instrumented, repObs := run(true, &trace)
+
+	if !bytes.Equal(plain, instrumented) {
+		t.Error("measurement stream differs with metrics enabled")
+	}
+	if !reflect.DeepEqual(repPlain, repObs) {
+		t.Errorf("reports differ: %+v vs %+v", repPlain, repObs)
+	}
+	if trace.Len() == 0 {
+		t.Fatal("tracing enabled but no span events written")
+	}
+	// Every trace line must be standalone JSON with the span fields.
+	sc := bufio.NewScanner(&trace)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawCampaign, lines := false, 0
+	for sc.Scan() {
+		lines++
+		var ev struct {
+			Span  string            `json:"span"`
+			ID    uint64            `json:"id"`
+			DurNS int64             `json:"dur_ns"`
+			Attrs map[string]string `json:"attrs"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Text(), err)
+		}
+		if ev.Span == "campaign" && ev.Attrs["region"] == "us-east1" {
+			sawCampaign = true
+		}
+	}
+	if !sawCampaign {
+		t.Errorf("no campaign root span among %d events", lines)
+	}
+}
+
+// TestCampaignMetricsMatchReport cross-checks the campaign counters against
+// the report the same Run returns, using deltas so earlier tests in the
+// package (which share the default registry) don't interfere.
+func TestCampaignMetricsMatchReport(t *testing.T) {
+	f := setup(t)
+	m := newCampaignMetrics("us-east1")
+	before := map[string]uint64{
+		"scheduled": m.scheduled.Value(),
+		"completed": m.completed.Value(),
+		"captures":  m.captures.Value(),
+		"trs":       m.traceroutes.Value(),
+		"snaps":     m.snapshots.Value(),
+	}
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+
+	sink := &SliceSink{}
+	rep, err := f.orch.Run(Config{
+		Region:          "us-east1",
+		Servers:         f.topo.ServersInCountry("US")[:5],
+		Days:            1,
+		Seed:            7,
+		CaptureEvery:    4,
+		TracerouteEvery: 1,
+	}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := m.completed.Value() - before["completed"]; d != uint64(rep.Tests) {
+		t.Errorf("completed delta = %d, want %d", d, rep.Tests)
+	}
+	if d := m.scheduled.Value() - before["scheduled"]; d != uint64(rep.Tests) {
+		t.Errorf("scheduled delta = %d, want %d (all scheduled tests ran)", d, rep.Tests)
+	}
+	if d := m.captures.Value() - before["captures"]; d != uint64(rep.Captures) {
+		t.Errorf("captures delta = %d, want %d", d, rep.Captures)
+	}
+	if d := m.traceroutes.Value() - before["trs"]; d != uint64(rep.Traceroutes) {
+		t.Errorf("traceroutes delta = %d, want %d", d, rep.Traceroutes)
+	}
+	// One snapshot per VM-hour plus one per capture.
+	wantSnaps := uint64(rep.VMs*rep.Hours + rep.Captures)
+	if d := m.snapshots.Value() - before["snaps"]; d != wantSnaps {
+		t.Errorf("snapshots delta = %d, want %d", d, wantSnaps)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/cloud"
 	"github.com/clasp-measurement/clasp/internal/flowstats"
 	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/someta"
 	"github.com/clasp-measurement/clasp/internal/topology"
 	"github.com/clasp-measurement/clasp/internal/traceroute"
@@ -299,6 +300,15 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 		return nil, fmt.Errorf("orchestrator: unknown region %q", cfg.Region)
 	}
 
+	// Campaign progress metrics and the root of the span hierarchy
+	// (campaign → phase/round → vm-hour → test). Both no-op entirely when
+	// the obs registry/tracer are disabled, and nothing they record feeds
+	// back into the measurement arithmetic — TestMetricsDoNotChangeResults
+	// pins that campaigns are bit-identical either way.
+	metrics := newCampaignMetrics(cfg.Region)
+	campSpan := obs.Trace("campaign").With("region", cfg.Region).WithInt("days", cfg.Days)
+	defer campSpan.End()
+
 	// Precompute the routing trees every measurement will need — the tree
 	// toward the cloud (download ingress) and toward each server AS
 	// (upload egress) — so the first hourly round starts with caches hot.
@@ -311,10 +321,16 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			warmDsts = append(warmDsts, srv.ASN)
 		}
 	}
+	phaseStart := time.Now()
+	warmSpan := campSpan.Child("warm").WithInt("destinations", len(warmDsts))
 	o.sim.Router().Warm(warmDsts, cfg.Parallelism)
+	warmSpan.End()
+	metrics.phaseDone("warm", phaseStart)
 
 	// Deploy measurement VMs: enough for the hourly test load (two tests
 	// per server), per tier, spread across zones.
+	phaseStart = time.Now()
+	deploySpan := campSpan.Child("deploy")
 	perTierVMs := PlanVMs(len(cfg.Servers))
 	totalVMs := perTierVMs * len(cfg.Tiers)
 	var vms []*cloud.VM
@@ -349,6 +365,8 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			prober:    traceroute.NewProber(o.sim, cfg.Region, cfg.Seed),
 		}
 	}
+	deploySpan.WithInt("vms", totalVMs).End()
+	metrics.phaseDone("deploy", phaseStart)
 
 	rep := &Report{Region: cfg.Region, VMs: totalVMs}
 	totalHours := cfg.Days * 24
@@ -398,7 +416,12 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			}
 		}
 
-		results, err := o.runRound(cfg, hourStart, tasks, workers)
+		metrics.addScheduled(len(tasks))
+		phaseStart = time.Now()
+		roundSpan := campSpan.Child("round").WithInt("hour", hour).WithInt("tasks", len(tasks))
+		results, err := o.runRound(cfg, hourStart, tasks, workers, roundSpan, metrics)
+		roundSpan.End()
+		metrics.phaseDone("measure", phaseStart)
 		if err != nil {
 			return nil, err
 		}
@@ -406,6 +429,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 		// Emit phase: sink records, egress metering and report counters
 		// run in task order, so the record stream and the accrued
 		// floating-point sums match the sequential schedule exactly.
+		phaseStart = time.Now()
 		for i, t := range tasks {
 			res := results[i]
 			sink.Record(analysis.Measurement{
@@ -419,6 +443,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 				Loss:     res.LossRate,
 			})
 			rep.Tests++
+			metrics.incCompleted()
 			// Egress accounting: uploads push the full transfer out of
 			// the cloud; downloads only return ACKs (~2%).
 			xferBytes := int64(res.ThroughputMbps * 1e6 / 8 * cfg.TestDurationSec)
@@ -429,12 +454,16 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			}
 			if t.capture {
 				rep.Captures++
+				metrics.incCaptures()
 			}
 		}
+		metrics.phaseDone("emit", phaseStart)
 
 		// Daily follow-up traceroutes: probing is pure, so it fans out
 		// across the VM pool; uploads run in server order afterwards.
 		if cfg.TracerouteEvery > 0 && hour%(24*cfg.TracerouteEvery) == 0 {
+			phaseStart = time.Now()
+			trSpan := campSpan.Child("traceroute").WithInt("hour", hour).WithInt("servers", len(cfg.Servers))
 			trs := make([]traceroute.Result, len(cfg.Servers))
 			err := forEachLimit(len(cfg.Servers), cfg.Parallelism, func(i int) error {
 				srv := cfg.Servers[i]
@@ -453,6 +482,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			}
 			for i, srv := range cfg.Servers {
 				rep.Traceroutes++
+				metrics.incTraceroutes()
 				if o.bucket == nil {
 					continue
 				}
@@ -465,6 +495,8 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 					return nil, err
 				}
 			}
+			trSpan.End()
+			metrics.phaseDone("traceroute", phaseStart)
 		}
 	}
 	o.platform.AccrueVMHours(totalVMs, time.Duration(totalHours)*time.Hour, cloud.N1Standard2)
@@ -480,7 +512,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 // cfg.Parallelism. Results are indexed by task position, so callers
 // observe them in the deterministic schedule order regardless of how the
 // round interleaved.
-func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, workers []*vmWorker) ([]netsim.TestResult, error) {
+func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, workers []*vmWorker, round obs.Span, metrics *campaignMetrics) ([]netsim.TestResult, error) {
 	results := make([]netsim.TestResult, len(tasks))
 	byVM := make([][]int, len(workers))
 	for i, t := range tasks {
@@ -490,17 +522,26 @@ func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, w
 	if measure == nil {
 		measure = o.sim.Measure
 	}
+	traced := obs.TraceEnabled()
 
 	runVM := func(vm int) error {
 		if len(byVM[vm]) == 0 {
 			return nil
 		}
 		w := workers[vm]
+		vmSpan := round.Child("vm-hour").WithInt("vm", vm).WithInt("tests", len(byVM[vm]))
+		defer vmSpan.End()
 		// One unconditional SoMeta snapshot per VM-hour, so the report's
 		// MaxVMCPUUtil is populated even with captures disabled.
 		w.collector.Snap(hourStart)
+		metrics.incSnapshots()
 		for _, ti := range byVM[vm] {
 			t := tasks[ti]
+			var testSpan obs.Span
+			if traced {
+				testSpan = vmSpan.Child("test").WithInt("server", t.srv.ID).
+					With("tier", t.tier.String()).With("dir", t.dir.String())
+			}
 			res, err := measure(netsim.TestSpec{
 				Region:      cfg.Region,
 				Server:      t.srv,
@@ -511,12 +552,13 @@ func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, w
 				VMDownMbps:  cfg.DownlinkMbps,
 				VMUpMbps:    cfg.UplinkMbps,
 			})
+			testSpan.End()
 			if err != nil {
 				return fmt.Errorf("orchestrator: test %d/%s/%s: %w", t.srv.ID, t.tier, t.dir, err)
 			}
 			results[ti] = res
 			if t.capture {
-				if err := o.captureTest(cfg, t.srv, t.tier, t.at, res, w.collector); err != nil {
+				if err := o.captureTest(cfg, t.srv, t.tier, t.at, res, w.collector, metrics); err != nil {
 					return err
 				}
 			}
@@ -564,11 +606,24 @@ func forEachLimit(n, limit int, fn func(i int) error) error {
 	return firstErr
 }
 
+// latestSnapshot returns a one-element slice holding the newest snapshot,
+// or nil when none have been recorded. Guards the capture path against the
+// empty-collector case: slicing Snapshots()[len-1:] directly panics with
+// index out of range when a collector has never snapped (e.g. after a
+// Reset, or a probe wired in without the per-VM-hour Snap).
+func latestSnapshot(snaps []someta.Snapshot) []someta.Snapshot {
+	if len(snaps) == 0 {
+		return nil
+	}
+	return snaps[len(snaps)-1:]
+}
+
 // captureTest synthesises a tcpdump-style header capture consistent with
 // the measured flow, snapshots SoMeta metadata, compresses both, and
 // uploads them to the results bucket.
-func (o *Orchestrator) captureTest(cfg Config, srv *topology.Server, tier bgp.Tier, at time.Time, res netsim.TestResult, collector *someta.Collector) error {
+func (o *Orchestrator) captureTest(cfg Config, srv *topology.Server, tier bgp.Tier, at time.Time, res netsim.TestResult, collector *someta.Collector, metrics *campaignMetrics) error {
 	collector.Snap(at)
+	metrics.incSnapshots()
 	if o.bucket == nil {
 		return nil
 	}
@@ -600,8 +655,13 @@ func (o *Orchestrator) captureTest(cfg Config, srv *topology.Server, tier bgp.Ti
 		return err
 	}
 
+	snaps := latestSnapshot(collector.Snapshots())
+	if len(snaps) == 0 {
+		// Nothing to upload; the pcap alone is still a valid artifact.
+		return nil
+	}
 	var meta bytes.Buffer
-	if err := someta.WriteJSON(&meta, collector.Snapshots()[len(collector.Snapshots())-1:]); err != nil {
+	if err := someta.WriteJSON(&meta, snaps); err != nil {
 		return err
 	}
 	metaKey := fmt.Sprintf("%s/someta/%s/server-%d-%s.json", cfg.Region, at.Format("2006-01-02"), srv.ID, tier)

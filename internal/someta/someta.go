@@ -13,7 +13,30 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"github.com/clasp-measurement/clasp/internal/obs"
 )
+
+// Metadata telemetry (see DESIGN.md §8).
+var (
+	obsSnapshots    = obs.Default().Counter("someta_snapshots_total")
+	obsLastSnapUnix = obs.Default().Gauge("someta_last_snapshot_unix_seconds")
+)
+
+// ClampUtil bounds a utilisation value to [0, 1]. Probe implementations are
+// free to return raw proxies (the LocalProbe goroutine-pressure heuristic
+// can exceed 1 on oversubscribed hosts); every snapshot passes through this
+// single clamp so downstream consumers — MaxCPU filtering, the analysis'
+// CPU-exhaustion check — never see out-of-range utilisation.
+func ClampUtil(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
 
 // Snapshot is one metadata record.
 type Snapshot struct {
@@ -54,10 +77,7 @@ func (p *LocalProbe) AddNetBytes(in, out int64) {
 func (p *LocalProbe) Sample() (float64, float64, int64, int64) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
-	cpu := float64(runtime.NumGoroutine()) / float64(runtime.NumCPU()*8)
-	if cpu > 1 {
-		cpu = 1
-	}
+	cpu := ClampUtil(float64(runtime.NumGoroutine()) / float64(runtime.NumCPU()*8))
 	p.mu.Lock()
 	in, out := p.in, p.out
 	p.mu.Unlock()
@@ -93,7 +113,7 @@ func (c *Collector) Snap(at time.Time) Snapshot {
 	s := Snapshot{
 		Timestamp:   at,
 		Hostname:    c.Hostname,
-		CPUUtil:     cpu,
+		CPUUtil:     ClampUtil(cpu),
 		MemUsedMB:   mem,
 		NetBytesIn:  in,
 		NetBytesOut: out,
@@ -103,6 +123,8 @@ func (c *Collector) Snap(at time.Time) Snapshot {
 	c.mu.Lock()
 	c.snapshots = append(c.snapshots, s)
 	c.mu.Unlock()
+	obsSnapshots.Inc()
+	obsLastSnapUnix.Set(float64(at.Unix()))
 	return s
 }
 

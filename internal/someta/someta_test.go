@@ -49,6 +49,30 @@ func TestFuncProbe(t *testing.T) {
 	}
 }
 
+func TestClampUtil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{-0.5, 0}, {0, 0}, {0.42, 0.42}, {1, 1}, {1.7, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := ClampUtil(c.in); got != c.want {
+			t.Errorf("ClampUtil(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSnapClampsProbeCPU(t *testing.T) {
+	// Probes may return raw proxies >1; the collector clamps once, centrally.
+	c := NewCollector("vm", FuncProbe(func() (float64, float64, int64, int64) {
+		return 1.7, 1, 0, 0
+	}))
+	if s := c.Snap(t0); s.CPUUtil != 1 {
+		t.Errorf("CPUUtil = %v, want clamped to 1", s.CPUUtil)
+	}
+	if got := c.MaxCPU(); got != 1 {
+		t.Errorf("MaxCPU = %v, want 1", got)
+	}
+}
+
 func TestSnapshotsAccumulateAndReset(t *testing.T) {
 	c := NewCollector("vm", FuncProbe(func() (float64, float64, int64, int64) { return 0.5, 1, 0, 0 }))
 	for i := 0; i < 5; i++ {

@@ -41,6 +41,8 @@ type output struct {
 func main() {
 	baseline := flag.String("baseline", "", "bench output file with pre-change numbers to join")
 	out := flag.String("out", "", "output JSON path (default stdout)")
+	note := flag.String("note", "hot-path benchmarks; baselines are the pre-overhaul numbers from BENCH_baseline.txt",
+		"note string recorded in the output JSON")
 	flag.Parse()
 
 	cur, err := parseBench(os.Stdin)
@@ -73,7 +75,7 @@ func main() {
 	}
 	sort.Strings(names)
 
-	o := output{Note: "hot-path benchmarks; baselines are the pre-overhaul numbers from BENCH_baseline.txt"}
+	o := output{Note: *note}
 	for _, n := range names {
 		r := cur[n]
 		if b, ok := base[n]; ok {

@@ -14,7 +14,36 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/clasp-measurement/clasp/internal/obs"
 )
+
+// Ingest telemetry (see DESIGN.md §8): per-shard insert counts expose the
+// lock-stripe distribution, and the lock-wait histogram is a contention
+// proxy — it times the Lock() acquisition itself, so queueing behind
+// another writer shows up as a fat tail. Both no-op while the obs registry
+// is disabled.
+var (
+	obsShardInserts [numShards]*obs.Counter
+	obsLockWait     = obs.Default().Histogram("tsdb_lock_wait_ns")
+)
+
+func init() {
+	for i := range obsShardInserts {
+		obsShardInserts[i] = obs.Default().Counter("tsdb_inserts_total", "shard", strconv.Itoa(i))
+	}
+}
+
+// lockShard write-locks sh, timing the acquisition when metrics are on.
+func lockShard(sh *shard) {
+	if !obs.Enabled() {
+		sh.mu.Lock()
+		return
+	}
+	start := time.Now()
+	sh.mu.Lock()
+	obsLockWait.Observe(float64(time.Since(start)))
+}
 
 // Tags are the indexed dimensions of a series (server, region, tier,
 // direction, ...). Values must not contain spaces or commas.
@@ -55,6 +84,7 @@ type Series struct {
 const numShards = 16
 
 type shard struct {
+	id     int // index into obsShardInserts
 	mu     sync.RWMutex
 	series map[string]*Series
 }
@@ -71,6 +101,7 @@ type Store struct {
 func NewStore() *Store {
 	s := &Store{}
 	for i := range s.shards {
+		s.shards[i].id = i
 		s.shards[i].series = make(map[string]*Series)
 	}
 	return s
@@ -139,7 +170,7 @@ func (s *Store) Insert(measurement string, tags Tags, at time.Time, fields map[s
 	}
 	key := seriesKey(measurement, tags)
 	sh := s.shardFor(key)
-	sh.mu.Lock()
+	lockShard(sh)
 	defer sh.mu.Unlock()
 	sr := sh.series[key]
 	if sr == nil {
@@ -151,6 +182,7 @@ func (s *Store) Insert(measurement string, tags Tags, at time.Time, fields map[s
 		sh.series[key] = sr
 	}
 	sr.insertPoint(Point{Time: at, Fields: cp})
+	obsShardInserts[sh.id].Inc()
 	return nil
 }
 
@@ -222,9 +254,10 @@ func (h *Handle) Insert(at time.Time, fields map[string]float64) error {
 	for k, v := range fields {
 		cp[k] = v
 	}
-	h.sh.mu.Lock()
+	lockShard(h.sh)
 	defer h.sh.mu.Unlock()
 	h.sr.insertPoint(Point{Time: at, Fields: cp})
+	obsShardInserts[h.sh.id].Inc()
 	return nil
 }
 
