@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench bench-all bench-smoke obs-smoke ci
+.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke bench-check ci
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,19 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails the build when any file is not gofmt-clean, listing the
+# offenders. CI runs it so formatting never drifts into review.
+fmt-check:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "fmt-check: these files need gofmt:"; echo "$$files"; exit 1; \
+	fi; \
+	echo "fmt-check: OK"
+
+# The explicit timeout gives the orchestrator suite headroom under the
+# race detector on small CI machines (the default is 10m per package).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 20m ./...
 
 # bench runs the hot-path benchmarks (steady-state Measure, cold Measure,
 # sharded TSDB ingest) and records ns/op and allocs/op — joined with the
@@ -22,13 +33,18 @@ race:
 # and the BenchmarkObs* entries pin the disabled paths at 0 allocs/op.
 bench:
 	$(GO) test -run=^$$ -bench='BenchmarkMeasure|BenchmarkInsert' -benchmem \
-		./internal/netsim/ ./internal/tsdb/ | tee /dev/stderr | \
+		./internal/netsim/ ./internal/tsdb/ | tee -a /dev/stderr | \
 		$(GO) run ./internal/tools/benchjson -baseline BENCH_baseline.txt -out BENCH_hotpath.json
 	$(GO) test -run=^$$ -bench='BenchmarkObs|BenchmarkMeasureWarm' -benchmem \
-		./internal/obs/ ./internal/netsim/ | tee /dev/stderr | \
+		./internal/obs/ ./internal/netsim/ | tee -a /dev/stderr | \
 		$(GO) run ./internal/tools/benchjson \
 		-note "observability: MeasureWarm vs MeasureWarmObs is the metrics-enabled overhead on the steady-state campaign path (budget 5%); ObsDisabled* pin the disabled paths at 0 allocs/op" \
 		-out BENCH_obs.json
+	$(GO) test -run=^$$ -bench='BenchmarkFaults' -benchmem \
+		./internal/netsim/ ./internal/faults/ | tee -a /dev/stderr | \
+		$(GO) run ./internal/tools/benchjson \
+		-note "fault injection: FaultsDisabledMeasureCtx vs MeasureWarm (BENCH_obs.json) is the nil-injector overhead on the fault-free campaign path, budget 0 allocs/op (pinned by TestMeasureCtxDisabledPathZeroAlloc); FaultsBeforeMeasureMiss is the per-test decision cost under an active profile; FaultsBackoff is the per-retry schedule computation" \
+		-out BENCH_faults.json
 
 # bench-all runs every benchmark in the repo.
 bench-all:
@@ -47,7 +63,28 @@ bench-smoke:
 obs-smoke:
 	$(GO) run ./internal/tools/obssmoke
 
-# ci is the gate for every change: tier-1 build + tests, static checks,
-# the full suite under the race detector, a benchmark smoke run, and the
-# observability smoke gate.
-ci: build test vet race bench-smoke obs-smoke
+# fault-smoke runs a small end-to-end campaign under the flaky-vm fault
+# profile through the public clasp API and asserts the platform degrades
+# gracefully: faults fire, the campaign completes, and the partial-round
+# accounting balances (completed + dropped = scheduled).
+fault-smoke:
+	$(GO) run ./internal/tools/faultsmoke
+
+# bench-check re-runs the recorded benchmarks and compares them against
+# the committed BENCH_*.json records: more than +25% ns/op or any rise in
+# allocs/op fails the build (timings get machine-noise slack; allocation
+# counts are deterministic and get none). -count=3 runs each benchmark
+# three times and benchdiff keeps the per-benchmark minimum, so a noisy
+# scheduler can't produce a false regression.
+bench-check:
+	$(GO) test -run=^$$ -count=3 -benchtime=0.5s \
+		-bench='BenchmarkMeasure|BenchmarkInsert|BenchmarkObs|BenchmarkFaults' -benchmem \
+		./internal/netsim/ ./internal/tsdb/ ./internal/obs/ ./internal/faults/ | tee -a /dev/stderr | \
+		$(GO) run ./internal/tools/benchdiff \
+		-against BENCH_hotpath.json -against BENCH_obs.json -against BENCH_faults.json
+
+# ci is the gate for every change: formatting, tier-1 build + tests,
+# static checks, the full suite under the race detector, a benchmark
+# smoke run, the observability and fault-injection smoke gates, and the
+# benchmark regression check against the committed BENCH_*.json records.
+ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke bench-check

@@ -55,6 +55,14 @@ type Options struct {
 	// 0 or 1 runs sequentially; any value yields identical results for
 	// the same seed (the engine's determinism guarantee).
 	Parallelism int
+	// FaultProfile names a canned fault-injection profile ("none",
+	// "flaky-vm", "congested-server") that every campaign runs under.
+	// Empty or "none" disables injection — results stay bit-identical to
+	// a fault-free platform. Active profiles inject deterministic VM and
+	// measurement failures; the orchestrator retries, degrades and
+	// accounts for them (see the Report's resilience counters), and two
+	// runs with the same Seed fail in exactly the same places.
+	FaultProfile string
 }
 
 // Platform is a fully wired CLASP instance over the simulated Internet and
@@ -72,7 +80,12 @@ func New(opts Options) (*Platform, error) {
 	if scale == 0 {
 		scale = 0.25
 	}
-	eng, err := core.New(core.Options{Seed: opts.Seed, Scale: scale, Parallelism: opts.Parallelism})
+	eng, err := core.New(core.Options{
+		Seed:         opts.Seed,
+		Scale:        scale,
+		Parallelism:  opts.Parallelism,
+		FaultProfile: opts.FaultProfile,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("clasp: %w", err)
 	}

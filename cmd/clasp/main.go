@@ -22,6 +22,9 @@
 //	                with the topology)
 //	-parallelism N  concurrent VM workers per campaign round (default 1;
 //	                results are identical at any value for the same seed)
+//	-fault-profile P  fault-injection profile: none (default), flaky-vm, or
+//	                congested-server; campaigns retry, degrade and account
+//	                for the injected failures deterministically per seed
 //	-metrics-out F  enable metrics; write a Prometheus text dump to F and a
 //	                JSON snapshot to F.json when the command finishes
 //	-tracelog F     enable tracing; append span events as JSON lines to F
@@ -41,6 +44,7 @@ import (
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/core"
+	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/selection"
 
@@ -66,6 +70,8 @@ func run(args []string) error {
 	days := fs.Int("days", 30, "campaign length in virtual days")
 	samples := fs.Int("samples", 0, "differential-scan minimum tuple samples")
 	parallelism := fs.Int("parallelism", 1, "concurrent VM workers per campaign round")
+	faultProfile := fs.String("fault-profile", "none",
+		fmt.Sprintf("fault-injection profile (%s)", strings.Join(faults.Names(), ", ")))
 	metricsOut := fs.String("metrics-out", "", "enable metrics and write Prometheus text to this file (JSON snapshot beside it as <file>.json)")
 	tracelog := fs.String("tracelog", "", "enable tracing and write span events as JSON lines to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -132,7 +138,12 @@ func run(args []string) error {
 		}()
 	}
 
-	p, err := clasp.New(clasp.Options{Seed: *seed, Scale: *scale, Parallelism: *parallelism})
+	p, err := clasp.New(clasp.Options{
+		Seed:         *seed,
+		Scale:        *scale,
+		Parallelism:  *parallelism,
+		FaultProfile: *faultProfile,
+	})
 	if err != nil {
 		return err
 	}
@@ -186,6 +197,10 @@ func dispatch(cmd string, positional []string, p *clasp.Platform, eng *core.CLAS
 		}
 		fmt.Fprintf(out, "Campaign: %d tests over %d hours with %d VMs\n",
 			res.Report.Tests, res.Report.Hours, res.Report.VMs)
+		if r := res.Report; r.Failed+r.Dropped+r.Retried+r.Preemptions+r.VMCreateRetries > 0 {
+			fmt.Fprintf(out, "Resilience: %d failed, %d retried, %d dropped, %d preemptions, %d create retries, %d breaker-open rounds\n",
+				r.Failed, r.Retried, r.Dropped, r.Preemptions, r.VMCreateRetries, r.BreakerOpenRounds)
+		}
 		rep, err := p.CongestionReport(res)
 		if err != nil {
 			return err

@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/obs"
@@ -29,6 +33,10 @@ import (
 	"github.com/clasp-measurement/clasp/internal/speedtest/ookla"
 	"github.com/clasp-measurement/clasp/internal/speedtest/xfinity"
 )
+
+// shutdownTimeout bounds the graceful drain after SIGINT/SIGTERM: ongoing
+// speed tests may finish within it, then remaining connections are closed.
+const shutdownTimeout = 15 * time.Second
 
 // obsRequests counts every HTTP request the daemon serves, by method.
 var obsRequests = obs.Default().Counter("speedtestd_http_requests_total")
@@ -89,5 +97,29 @@ func main() {
 		fmt.Fprintln(w, "clasp speedtestd: /servers.json, /ndt/v7/{download,upload}, /speedtest/{latency,download,upload}, /metrics, /debug/vars")
 	})
 
-	log.Fatal(http.Serve(ln, countRequests(mux)))
+	// Serve until interrupted, then drain: in-flight tests get up to
+	// shutdownTimeout to finish before the listener is torn down, so a
+	// Ctrl-C mid-test no longer drops connections on the floor.
+	httpSrv := &http.Server{Handler: countRequests(mux)}
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("speedtestd: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("shutting down (waiting up to %s for in-flight tests)", shutdownTimeout)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		log.Printf("speedtestd: forced shutdown: %v", err)
+	}
 }

@@ -33,6 +33,20 @@ var obsEgressBytes = map[bgp.Tier]*obs.Counter{
 	bgp.Standard: obs.Default().Counter("cloud_egress_bytes_total", "tier", "standard"),
 }
 
+// Fault telemetry: injected control-plane rejections and VM preemptions.
+var (
+	obsCreateFaults = obs.Default().Counter("cloud_vm_create_faults_total")
+	obsPreemptions  = obs.Default().Counter("cloud_vm_preemptions_total")
+)
+
+// VMFaults injects control-plane failures into the platform. The campaign
+// fault injector (internal/faults) implements it; decisions must be
+// deterministic in (name, attempt). A nil injector disables the fault path
+// entirely.
+type VMFaults interface {
+	FailVMCreate(name string, attempt int) error
+}
+
 // MachineType describes a VM shape.
 type MachineType struct {
 	Name       string
@@ -112,12 +126,15 @@ type Platform struct {
 	sim     *netsim.Sim
 	pricing Pricing
 
-	mu         sync.Mutex
-	vms        map[string]*VM
-	buckets    map[string]*Bucket
-	zoneNext   map[string]int
-	egressGB   map[bgp.Tier]float64
-	computeUSD float64
+	mu             sync.Mutex
+	vms            map[string]*VM
+	buckets        map[string]*Bucket
+	zoneNext       map[string]int
+	egressGB       map[bgp.Tier]float64
+	computeUSD     float64
+	vmFaults       VMFaults
+	createAttempts map[string]int
+	preemptions    int
 }
 
 // New creates a platform over the topology and simulator.
@@ -126,14 +143,26 @@ func New(topo *topology.Topology, sim *netsim.Sim, pricing Pricing) *Platform {
 		pricing = DefaultPricing()
 	}
 	return &Platform{
-		topo:     topo,
-		sim:      sim,
-		pricing:  pricing,
-		vms:      make(map[string]*VM),
-		buckets:  make(map[string]*Bucket),
-		zoneNext: make(map[string]int),
-		egressGB: make(map[bgp.Tier]float64),
+		topo:           topo,
+		sim:            sim,
+		pricing:        pricing,
+		vms:            make(map[string]*VM),
+		buckets:        make(map[string]*Bucket),
+		zoneNext:       make(map[string]int),
+		egressGB:       make(map[bgp.Tier]float64),
+		createAttempts: make(map[string]int),
 	}
+}
+
+// SetVMFaults installs (or, with nil, removes) a control-plane fault
+// injector. Campaigns sharing one Platform must install the same injector
+// — the orchestrator does this from the campaign profile, and core gives
+// every campaign of a platform the same profile and seed, so concurrent
+// installs are idempotent.
+func (p *Platform) SetVMFaults(f VMFaults) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.vmFaults = f
 }
 
 // CreateVM provisions a VM, spreading unspecified zones across the region
@@ -153,6 +182,19 @@ func (p *Platform) CreateVM(spec VMSpec, at time.Time) (*VM, error) {
 	defer p.mu.Unlock()
 	if _, dup := p.vms[spec.Name]; dup {
 		return nil, fmt.Errorf("cloud: VM %q already exists", spec.Name)
+	}
+	// Injected control-plane rejection. Checked before the zone pick so a
+	// failed attempt consumes no round-robin slot; attempts are counted per
+	// name (sequential per caller retry loop) and reset on success, keeping
+	// the fault sequence deterministic for a given seed.
+	if p.vmFaults != nil {
+		attempt := p.createAttempts[spec.Name]
+		p.createAttempts[spec.Name] = attempt + 1
+		if err := p.vmFaults.FailVMCreate(spec.Name, attempt); err != nil {
+			obsCreateFaults.Inc()
+			return nil, fmt.Errorf("cloud: creating VM %q: %w", spec.Name, err)
+		}
+		delete(p.createAttempts, spec.Name)
 	}
 	zoneIdx := 0
 	if spec.Zone == "" {
@@ -205,6 +247,35 @@ func (p *Platform) DeleteVM(name string, at time.Time) error {
 	vm.State = VMTerminated
 	delete(p.vms, name)
 	return nil
+}
+
+// Preempt terminates a running VM out from under its owner — the simulated
+// equivalent of a GCP preemption or host maintenance event. Like DeleteVM
+// it accrues the VM's runtime cost and frees the name for re-creation, but
+// it also counts the event so resilience accounting can distinguish
+// planned teardown from failure.
+func (p *Platform) Preempt(name string, at time.Time) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	vm, ok := p.vms[name]
+	if !ok {
+		return fmt.Errorf("cloud: VM %q not found", name)
+	}
+	if hours := at.Sub(vm.Created).Hours(); hours > 0 {
+		p.computeUSD += hours * vm.Type.HourlyUSD
+	}
+	vm.State = VMTerminated
+	delete(p.vms, name)
+	p.preemptions++
+	obsPreemptions.Inc()
+	return nil
+}
+
+// Preemptions returns how many VMs the platform has preempted.
+func (p *Platform) Preemptions() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.preemptions
 }
 
 // ListVMs returns VMs, optionally filtered by region, sorted by name.

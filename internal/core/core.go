@@ -13,6 +13,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/bdrmap"
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/cloud"
+	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/netsim"
 	"github.com/clasp-measurement/clasp/internal/orchestrator"
 	"github.com/clasp-measurement/clasp/internal/selection"
@@ -65,6 +66,12 @@ type Options struct {
 	// (see orchestrator.Config.Parallelism). 0 or 1 runs sequentially;
 	// results are identical at any value.
 	Parallelism int
+	// FaultProfile names the canned fault-injection profile every campaign
+	// runs under (see faults.Names). "" and "none" disable injection and
+	// keep campaigns bit-identical to a fault-free engine; active profiles
+	// keep them deterministic per Seed. All campaigns of one instance share
+	// the profile, so the platform-level injector is consistent.
+	FaultProfile string
 }
 
 // CLASP is a fully wired platform instance.
@@ -85,6 +92,9 @@ type CLASP struct {
 func New(opts Options) (*CLASP, error) {
 	if opts.Seed == 0 {
 		opts.Seed = 1
+	}
+	if _, err := faults.Named(opts.FaultProfile); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	tcfg := topology.PaperScaleConfig()
 	if opts.TopoConfig != nil {
@@ -218,6 +228,10 @@ func (c *CLASP) RunDifferentialCampaign(region string, days, minSamples int) (*C
 const storeIndexLimit = 250_000
 
 func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []bgp.Tier, days int) (*CampaignResult, error) {
+	prof, err := faults.Named(c.Opts.FaultProfile)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	orch := orchestrator.New(c.Sim, c.Cloud, c.Bucket)
 	sink := &orchestrator.SliceSink{}
 	sinks := orchestrator.MultiSink{sink}
@@ -232,6 +246,7 @@ func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []b
 		Days:        days,
 		Seed:        c.Opts.Seed,
 		Parallelism: c.Opts.Parallelism,
+		Faults:      prof,
 	}, sinks)
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign in %s: %w", region, err)

@@ -1,0 +1,34 @@
+package netsim
+
+import (
+	"context"
+	"fmt"
+)
+
+// TestFaults injects failures into measurement execution. The orchestrator
+// passes the campaign's injector (internal/faults) here; implementations
+// must be deterministic in the spec — including spec.Attempt — and safe
+// for concurrent use, or the engine's bit-identical-results guarantee
+// breaks. BeforeMeasure may block to model slow or hung tests, bounded by
+// ctx; a non-nil error fails the test without running it.
+type TestFaults interface {
+	BeforeMeasure(ctx context.Context, spec TestSpec) error
+}
+
+// MeasureCtx runs Measure under fault injection: f may fail the test, delay
+// it (bounded by ctx), or pass it through untouched. A nil f makes
+// MeasureCtx equivalent to Measure — the disabled path adds one branch and
+// zero allocations (BenchmarkFaultsDisabledMeasureCtx pins this), so the
+// orchestrator can call it unconditionally.
+func (s *Sim) MeasureCtx(ctx context.Context, spec TestSpec, f TestFaults) (TestResult, error) {
+	if f != nil && spec.Server != nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		if err := f.BeforeMeasure(ctx, spec); err != nil {
+			obsInjectedFaults.Inc()
+			return TestResult{}, fmt.Errorf("netsim: server %d %s/%s: %w", spec.Server.ID, spec.Tier, spec.Dir, err)
+		}
+	}
+	return s.Measure(spec)
+}

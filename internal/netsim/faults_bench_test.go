@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The fault-path benchmarks behind `make bench` / BENCH_faults.json.
+// BenchmarkFaultsDisabledMeasureCtx is the one that matters for every
+// fault-free campaign: MeasureCtx with a nil injector must cost the same as
+// Measure — one branch, zero allocations (budget pinned by
+// TestMeasureCtxDisabledPathZeroAlloc).
+
+// BenchmarkFaultsDisabledMeasureCtx is BenchmarkMeasureWarm routed through
+// the fault-aware entry point with injection disabled; the delta against
+// MeasureWarm in BENCH_faults.json is the disabled-path overhead.
+func BenchmarkFaultsDisabledMeasureCtx(b *testing.B) {
+	topo, specs := benchSetup(b)
+	sim := New(topo, nil, Config{Seed: 7})
+	for _, sp := range specs {
+		if _, err := sim.Measure(sp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctx := context.Background()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(4)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)) % len(specs)
+			if _, err := sim.MeasureCtx(ctx, specs[i], nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestMeasureCtxDisabledPathZeroAlloc enforces the disabled-path budget
+// from BENCH_faults.json in the ordinary test suite: with no injector,
+// MeasureCtx must not allocate beyond Measure itself (0 allocs/op warm).
+func TestMeasureCtxDisabledPathZeroAlloc(t *testing.T) {
+	s := newSim(t)
+	srv := s.Topology().Servers()[1]
+	spec := TestSpec{Region: "us-east1", Server: srv, Dir: Download, Time: t0.Add(5 * time.Hour)}
+	ctx := context.Background()
+	if _, err := s.MeasureCtx(ctx, spec, nil); err != nil { // warm caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := s.MeasureCtx(ctx, spec, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("disabled fault path allocates %.1f per op, budget is 0", allocs)
+	}
+}

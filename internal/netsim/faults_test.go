@@ -1,0 +1,104 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+)
+
+// stubFaults fails the first failFirst attempts of every test.
+type stubFaults struct {
+	failFirst int
+	err       error
+	calls     int
+}
+
+func (s *stubFaults) BeforeMeasure(ctx context.Context, spec TestSpec) error {
+	s.calls++
+	if spec.Attempt < s.failFirst {
+		return s.err
+	}
+	return nil
+}
+
+func TestMeasureCtxNilFaultsEqualsMeasure(t *testing.T) {
+	s := newSim(t)
+	srv := s.Topology().Servers()[5]
+	spec := TestSpec{Region: "us-east1", Server: srv, Tier: bgp.Premium, Dir: Download, Time: t0.Add(9 * time.Hour)}
+	want, err := s.Measure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.MeasureCtx(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("MeasureCtx(nil faults) = %+v, want Measure result %+v", got, want)
+	}
+	// A nil context on the pass-through path must not panic either.
+	if _, err := s.MeasureCtx(nil, spec, &stubFaults{}); err != nil { //nolint:staticcheck
+		t.Errorf("nil ctx: %v", err)
+	}
+}
+
+func TestMeasureCtxInjectedFailure(t *testing.T) {
+	s := newSim(t)
+	srv := s.Topology().Servers()[5]
+	spec := TestSpec{Region: "us-east1", Server: srv, Tier: bgp.Premium, Dir: Upload, Time: t0.Add(3 * time.Hour)}
+	sentinel := errors.New("injected")
+	f := &stubFaults{failFirst: 1, err: sentinel}
+
+	res, err := s.MeasureCtx(context.Background(), spec, f)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the injected error wrapped", err)
+	}
+	if !reflect.DeepEqual(res, TestResult{}) {
+		t.Errorf("failed test returned a non-zero result: %+v", res)
+	}
+
+	// The retry redraws per attempt: attempt 1 passes through and matches
+	// the fault-free measurement bit for bit.
+	spec.Attempt = 1
+	got, err := s.MeasureCtx(context.Background(), spec, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.Measure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("retried result %+v differs from fault-free %+v", got, want)
+	}
+	if f.calls != 2 {
+		t.Errorf("fault hook called %d times, want 2", f.calls)
+	}
+}
+
+// TestAttemptDoesNotChangeMeasurement pins that TestSpec.Attempt is carried
+// for the fault layer only — the measurement arithmetic must ignore it, or
+// retried tests would stop matching the paper's fault-free campaigns.
+func TestAttemptDoesNotChangeMeasurement(t *testing.T) {
+	s := newSim(t)
+	srv := s.Topology().Servers()[2]
+	spec := TestSpec{Region: "us-west1", Server: srv, Tier: bgp.Premium, Dir: Download, Time: t0.Add(17 * time.Hour)}
+	base, err := s.Measure(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attempt := range []int{1, 2, 7} {
+		spec.Attempt = attempt
+		got, err := s.Measure(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Errorf("attempt %d changed the measurement: %+v vs %+v", attempt, got, base)
+		}
+	}
+}

@@ -13,9 +13,10 @@ import (
 // BENCH_obs.json, and with metrics disabled every update is a single
 // atomic load (0 allocs/op, pinned in internal/obs).
 var (
-	obsFlowHits   = obs.Default().Counter("netsim_flowcache_hits_total")
-	obsFlowMisses = obs.Default().Counter("netsim_flowcache_misses_total")
-	obsMeasureLat = obs.Default().Histogram("netsim_measure_latency_ns")
+	obsFlowHits       = obs.Default().Counter("netsim_flowcache_hits_total")
+	obsFlowMisses     = obs.Default().Counter("netsim_flowcache_misses_total")
+	obsMeasureLat     = obs.Default().Histogram("netsim_measure_latency_ns")
+	obsInjectedFaults = obs.Default().Counter("netsim_injected_faults_total")
 
 	measureSampleN atomic.Uint64
 )

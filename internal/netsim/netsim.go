@@ -243,6 +243,11 @@ type TestSpec struct {
 	// VMDownMbps / VMUpMbps override the configured NIC shaping when > 0.
 	VMDownMbps float64
 	VMUpMbps   float64
+	// Attempt is the 0-based retry attempt of this execution. It never
+	// enters the measurement arithmetic — results are identical at any
+	// value — but the fault layer keys per-attempt decisions on it so a
+	// retried test can deterministically succeed (see internal/faults).
+	Attempt int
 }
 
 // TestResult is the outcome the speed test UI would report, plus the

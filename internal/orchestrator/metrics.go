@@ -3,6 +3,7 @@ package orchestrator
 import (
 	"time"
 
+	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/obs"
 )
 
@@ -22,6 +23,15 @@ type campaignMetrics struct {
 	traceroutes *obs.Counter
 	snapshots   *obs.Counter
 	phase       map[string]*obs.Gauge
+
+	// Resilience series, only moved by fault-injected campaigns.
+	failed          *obs.Counter
+	retried         *obs.Counter
+	dropped         *obs.Counter
+	preemptions     *obs.Counter
+	vmCreateRetries *obs.Counter
+	breakerOpen     *obs.Counter
+	breakerState    *obs.Gauge
 }
 
 func newCampaignMetrics(region string) *campaignMetrics {
@@ -33,6 +43,14 @@ func newCampaignMetrics(region string) *campaignMetrics {
 		traceroutes: r.Counter("campaign_traceroutes_total", "region", region),
 		snapshots:   r.Counter("campaign_someta_snapshots_total", "region", region),
 		phase:       make(map[string]*obs.Gauge, len(campaignPhases)),
+
+		failed:          r.Counter("campaign_tests_failed_total", "region", region),
+		retried:         r.Counter("campaign_tests_retried_total", "region", region),
+		dropped:         r.Counter("campaign_tests_dropped_total", "region", region),
+		preemptions:     r.Counter("campaign_vm_preemptions_total", "region", region),
+		vmCreateRetries: r.Counter("campaign_vm_create_retries_total", "region", region),
+		breakerOpen:     r.Counter("campaign_breaker_open_rounds_total", "region", region),
+		breakerState:    r.Gauge("campaign_breaker_state", "region", region),
 	}
 	for _, p := range campaignPhases {
 		m.phase[p] = r.Gauge("campaign_phase_seconds_total", "region", region, "phase", p)
@@ -79,5 +97,43 @@ func (m *campaignMetrics) incTraceroutes() {
 func (m *campaignMetrics) incSnapshots() {
 	if m != nil {
 		m.snapshots.Inc()
+	}
+}
+
+// addFaultTally ingests one round's resilience counts.
+func (m *campaignMetrics) addFaultTally(t roundTally) {
+	if m == nil {
+		return
+	}
+	m.failed.Add(uint64(t.failed))
+	m.retried.Add(uint64(t.retried))
+	m.dropped.Add(uint64(t.dropped))
+	m.preemptions.Add(uint64(t.preemptions))
+	m.vmCreateRetries.Add(uint64(t.vmCreateRetries))
+}
+
+func (m *campaignMetrics) addDropped(n int) {
+	if m != nil {
+		m.dropped.Add(uint64(n))
+	}
+}
+
+func (m *campaignMetrics) addVMCreateRetries(n int) {
+	if m != nil {
+		m.vmCreateRetries.Add(uint64(n))
+	}
+}
+
+func (m *campaignMetrics) incBreakerOpenRounds() {
+	if m != nil {
+		m.breakerOpen.Inc()
+	}
+}
+
+// setBreakerState records the breaker state as a gauge (0 closed,
+// 1 half-open, 2 open — the faults.BreakerState values).
+func (m *campaignMetrics) setBreakerState(s faults.BreakerState) {
+	if m != nil {
+		m.breakerState.Set(float64(s))
 	}
 }

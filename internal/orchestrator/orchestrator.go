@@ -21,6 +21,7 @@ package orchestrator
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"fmt"
 	"math/rand"
 	"strconv"
@@ -30,6 +31,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/analysis"
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/cloud"
+	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/flowstats"
 	"github.com/clasp-measurement/clasp/internal/netsim"
 	"github.com/clasp-measurement/clasp/internal/obs"
@@ -197,6 +199,14 @@ type Config struct {
 	// safe for concurrent use, and it must stay deterministic in the spec
 	// for the bit-identical guarantee to hold.
 	Measure func(netsim.TestSpec) (netsim.TestResult, error)
+	// Faults selects the fault-injection profile and the resilience policy
+	// the campaign runs under (internal/faults). The zero profile — or the
+	// canned "none" — injects nothing and leaves execution bit-identical
+	// to a fault-free engine, pinned by TestFaultProfileNoneBitIdentical.
+	// Active profiles keep campaigns deterministic per Seed at any
+	// Parallelism: every injection decision, retry delay and breaker
+	// transition is a pure function of the seed and task coordinates.
+	Faults faults.Profile
 }
 
 func (c Config) withDefaults() Config {
@@ -266,6 +276,19 @@ type Report struct {
 	Traceroutes  int
 	Captures     int
 	MaxVMCPUUtil float64
+
+	// Resilience accounting, all zero in fault-free campaigns. Every
+	// scheduled test either completes (Tests) or is Dropped — after
+	// exhausting its retry budget, hitting a server-unavailability window,
+	// losing its VM for the hour, or being shed by an open breaker.
+	// Failed counts failed executions (a test that fails twice counts
+	// twice) and Retried the re-executions, so Failed >= Dropped.
+	Failed            int
+	Retried           int
+	Dropped           int
+	Preemptions       int
+	VMCreateRetries   int
+	BreakerOpenRounds int
 }
 
 // vmWorker is the execution state of one simulated measurement VM: its own
@@ -309,6 +332,21 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	campSpan := obs.Trace("campaign").With("region", cfg.Region).WithInt("days", cfg.Days)
 	defer campSpan.End()
 
+	// Fault machinery. A nil injector — the common case — short-circuits
+	// every fault branch below, keeping the fault-free path identical to an
+	// engine without this layer. The platform injector is (re)installed
+	// unconditionally so a previous campaign's cannot leak into this run.
+	inj := faults.NewInjector(cfg.Faults, cfg.Seed)
+	var pol faults.Profile
+	var breaker *faults.Breaker
+	if inj != nil {
+		pol = inj.Profile()
+		breaker = faults.NewBreaker(pol.BreakerFailFrac, pol.BreakerMinSamples, pol.BreakerCooldown)
+		o.platform.SetVMFaults(inj)
+	} else {
+		o.platform.SetVMFaults(nil)
+	}
+
 	// Precompute the routing trees every measurement will need — the tree
 	// toward the cloud (download ingress) and toward each server AS
 	// (upload egress) — so the first hourly round starts with caches hot.
@@ -333,10 +371,12 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	deploySpan := campSpan.Child("deploy")
 	perTierVMs := PlanVMs(len(cfg.Servers))
 	totalVMs := perTierVMs * len(cfg.Tiers)
-	var vms []*cloud.VM
+	rep := &Report{Region: cfg.Region, VMs: totalVMs}
+	vms := make([]*cloud.VM, 0, totalVMs)
+	specs := make([]cloud.VMSpec, 0, totalVMs)
 	for _, tier := range cfg.Tiers {
 		for i := 0; i < perTierVMs; i++ {
-			vm, err := o.platform.CreateVM(cloud.VMSpec{
+			vm, retries, err := o.createVM(inj, pol, cloud.VMSpec{
 				Name:         fmt.Sprintf("clasp-%s-%s-%d", cfg.Region, tier, i),
 				Region:       cfg.Region,
 				Type:         cloud.N1Standard2,
@@ -345,16 +385,25 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 				UplinkMbps:   cfg.UplinkMbps,
 				Labels:       map[string]string{"role": "measurement", "tier": tier.String()},
 			}, cfg.Start)
+			rep.VMCreateRetries += retries
+			metrics.addVMCreateRetries(retries)
 			if err != nil {
 				return nil, fmt.Errorf("orchestrator: deploying VM %d/%s: %w", i, tier, err)
 			}
 			vms = append(vms, vm)
+			// The provisioned spec has its zone resolved, so a preempted VM
+			// is re-created in the same zone without consuming another
+			// round-robin slot — keeping zone assignment deterministic.
+			specs = append(specs, vm.VMSpec)
 		}
 	}
 	defer func() {
 		end := cfg.Start.Add(time.Duration(cfg.Days) * 24 * time.Hour)
-		for _, vm := range vms {
-			_ = o.platform.DeleteVM(vm.Name, end)
+		for i := range vms {
+			// A slot is nil while its VM is preempted and not yet replaced.
+			if vms[i] != nil {
+				_ = o.platform.DeleteVM(vms[i].Name, end)
+			}
 		}
 	}()
 
@@ -368,7 +417,6 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	deploySpan.WithInt("vms", totalVMs).End()
 	metrics.phaseDone("deploy", phaseStart)
 
-	rep := &Report{Region: cfg.Region, VMs: totalVMs}
 	totalHours := cfg.Days * 24
 	slotGap := time.Hour / time.Duration(TestsPerVMPerHour+1)
 	downloads := 0
@@ -417,20 +465,49 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 		}
 
 		metrics.addScheduled(len(tasks))
+		if breaker != nil && !breaker.Allow() {
+			// Open breaker: shed the whole round with explicit accounting
+			// instead of executing it. Observing the shed round with zero
+			// executed tasks advances the cooldown toward the probe round.
+			rep.Dropped += len(tasks)
+			rep.BreakerOpenRounds++
+			metrics.addDropped(len(tasks))
+			metrics.incBreakerOpenRounds()
+			breaker.ObserveRound(len(tasks), 0)
+			metrics.setBreakerState(breaker.State())
+			continue
+		}
 		phaseStart = time.Now()
 		roundSpan := campSpan.Child("round").WithInt("hour", hour).WithInt("tasks", len(tasks))
-		results, err := o.runRound(cfg, hourStart, tasks, workers, roundSpan, metrics)
+		results, completed, tally, err := o.runRound(cfg, hourStart, hour, tasks, workers, vms, specs, inj, pol, roundSpan, metrics)
 		roundSpan.End()
 		metrics.phaseDone("measure", phaseStart)
 		if err != nil {
 			return nil, err
 		}
+		rep.Failed += tally.failed
+		rep.Retried += tally.retried
+		rep.Dropped += tally.dropped
+		rep.Preemptions += tally.preemptions
+		rep.VMCreateRetries += tally.vmCreateRetries
+		metrics.addFaultTally(tally)
+		if breaker != nil {
+			// Round-boundary breaker feed: order-independent counts only,
+			// so the trip point is deterministic at any parallelism.
+			breaker.ObserveRound(tally.dropped, len(tasks))
+			metrics.setBreakerState(breaker.State())
+		}
 
 		// Emit phase: sink records, egress metering and report counters
 		// run in task order, so the record stream and the accrued
 		// floating-point sums match the sequential schedule exactly.
+		// Dropped tests never reach the sink — the paper discards failed
+		// tests rather than recording partial measurements.
 		phaseStart = time.Now()
 		for i, t := range tasks {
+			if !completed[i] {
+				continue
+			}
 			res := results[i]
 			sink.Record(analysis.Measurement{
 				ServerID: t.srv.ID,
@@ -508,12 +585,53 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	return rep, nil
 }
 
+// roundTally aggregates one round's resilience events. Each VM goroutine
+// fills its own slot and the totals are summed after the round joins, so
+// the counts are deterministic at any parallelism.
+type roundTally struct {
+	failed          int
+	retried         int
+	dropped         int
+	preemptions     int
+	vmCreateRetries int
+}
+
+func (t *roundTally) add(o roundTally) {
+	t.failed += o.failed
+	t.retried += o.retried
+	t.dropped += o.dropped
+	t.preemptions += o.preemptions
+	t.vmCreateRetries += o.vmCreateRetries
+}
+
+// createVM provisions one VM, retrying injected control-plane rejections on
+// the profile's deterministic backoff schedule. It returns how many retries
+// it spent; real errors — and injected ones past the retry budget — surface
+// to the caller.
+func (o *Orchestrator) createVM(inj *faults.Injector, pol faults.Profile, spec cloud.VMSpec, at time.Time) (*cloud.VM, int, error) {
+	retries := 0
+	for attempt := 0; ; attempt++ {
+		vm, err := o.platform.CreateVM(spec, at)
+		if err == nil {
+			return vm, retries, nil
+		}
+		fe, injected := faults.AsError(err)
+		if inj == nil || !injected || !fe.Retryable() || attempt >= pol.MaxRetries {
+			return nil, retries, err
+		}
+		retries++
+		time.Sleep(inj.Backoff(attempt, faults.KeyString(spec.Name)))
+	}
+}
+
 // runRound executes one hour's tasks, one goroutine per VM bounded by
-// cfg.Parallelism. Results are indexed by task position, so callers
-// observe them in the deterministic schedule order regardless of how the
-// round interleaved.
-func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, workers []*vmWorker, round obs.Span, metrics *campaignMetrics) ([]netsim.TestResult, error) {
+// cfg.Parallelism. Results are indexed by task position, so callers observe
+// them in the deterministic schedule order regardless of how the round
+// interleaved; completed marks the positions that produced a result (always
+// all of them in fault-free campaigns).
+func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, hour int, tasks []task, workers []*vmWorker, vms []*cloud.VM, specs []cloud.VMSpec, inj *faults.Injector, pol faults.Profile, round obs.Span, metrics *campaignMetrics) ([]netsim.TestResult, []bool, roundTally, error) {
 	results := make([]netsim.TestResult, len(tasks))
+	completed := make([]bool, len(tasks))
 	byVM := make([][]int, len(workers))
 	for i, t := range tasks {
 		byVM[t.vm] = append(byVM[t.vm], i)
@@ -523,10 +641,104 @@ func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, w
 		measure = o.sim.Measure
 	}
 	traced := obs.TraceEnabled()
+	tallies := make([]roundTally, len(workers))
+
+	// execute is the faulted execution path: injection (bounded by ctx),
+	// then the measurement. The default simulator route goes through
+	// MeasureCtx so the netsim fault counters see every injection; a
+	// Measure override keeps its plain signature and gets the injection
+	// applied here.
+	var execute func(ctx context.Context, spec netsim.TestSpec) (netsim.TestResult, error)
+	if inj != nil {
+		if cfg.Measure != nil {
+			execute = func(ctx context.Context, spec netsim.TestSpec) (netsim.TestResult, error) {
+				if err := inj.BeforeMeasure(ctx, spec); err != nil {
+					return netsim.TestResult{}, err
+				}
+				return cfg.Measure(spec)
+			}
+		} else {
+			execute = func(ctx context.Context, spec netsim.TestSpec) (netsim.TestResult, error) {
+				return o.sim.MeasureCtx(ctx, spec, inj)
+			}
+		}
+	}
+
+	// runTest executes one task under the profile's timeout/retry/backoff
+	// policy. Injected failures are tallied and — once non-retryable or out
+	// of budget — dropped, leaving completed[ti] false; real errors still
+	// abort the campaign exactly as they did before the fault layer.
+	runTest := func(t task, ti int, tally *roundTally) error {
+		spec := netsim.TestSpec{
+			Region:      cfg.Region,
+			Server:      t.srv,
+			Tier:        t.tier,
+			Dir:         t.dir,
+			Time:        t.at,
+			DurationSec: cfg.TestDurationSec,
+			VMDownMbps:  cfg.DownlinkMbps,
+			VMUpMbps:    cfg.UplinkMbps,
+		}
+		if inj == nil {
+			res, err := measure(spec)
+			if err != nil {
+				return fmt.Errorf("orchestrator: test %d/%s/%s: %w", t.srv.ID, t.tier, t.dir, err)
+			}
+			results[ti], completed[ti] = res, true
+			return nil
+		}
+		for attempt := 0; ; attempt++ {
+			spec.Attempt = attempt
+			ctx, cancel := context.WithTimeout(context.Background(), pol.TestTimeout)
+			res, err := execute(ctx, spec)
+			cancel()
+			if err == nil {
+				results[ti], completed[ti] = res, true
+				return nil
+			}
+			fe, injected := faults.AsError(err)
+			if !injected {
+				return fmt.Errorf("orchestrator: test %d/%s/%s: %w", t.srv.ID, t.tier, t.dir, err)
+			}
+			tally.failed++
+			if !fe.Retryable() || attempt >= pol.MaxRetries {
+				tally.dropped++
+				return nil
+			}
+			tally.retried++
+			time.Sleep(inj.Backoff(attempt,
+				faults.KeyString(cfg.Region), uint64(t.srv.ID),
+				uint64(t.tier), uint64(t.dir), uint64(hour)))
+		}
+	}
 
 	runVM := func(vm int) error {
 		if len(byVM[vm]) == 0 {
 			return nil
+		}
+		tally := &tallies[vm]
+		if inj != nil {
+			// Survive this hour's preemption, then make sure the VM slot is
+			// populated — a re-creation that failed in an earlier hour left
+			// it nil. A VM-hour with no instance is degraded, not fatal:
+			// its tests are dropped and the campaign continues (the paper
+			// re-plans lost VM-hours rather than aborting, §3.2).
+			if vms[vm] != nil && inj.PreemptVM(specs[vm].Name, hour) {
+				if err := o.platform.Preempt(specs[vm].Name, hourStart); err != nil {
+					return fmt.Errorf("orchestrator: preempting VM %q: %w", specs[vm].Name, err)
+				}
+				vms[vm] = nil
+				tally.preemptions++
+			}
+			if vms[vm] == nil {
+				nvm, retries, err := o.createVM(inj, pol, specs[vm], hourStart)
+				tally.vmCreateRetries += retries
+				if err != nil {
+					tally.dropped += len(byVM[vm])
+					return nil
+				}
+				vms[vm] = nvm
+			}
 		}
 		w := workers[vm]
 		vmSpan := round.Child("vm-hour").WithInt("vm", vm).WithInt("tests", len(byVM[vm]))
@@ -542,23 +754,13 @@ func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, w
 				testSpan = vmSpan.Child("test").WithInt("server", t.srv.ID).
 					With("tier", t.tier.String()).With("dir", t.dir.String())
 			}
-			res, err := measure(netsim.TestSpec{
-				Region:      cfg.Region,
-				Server:      t.srv,
-				Tier:        t.tier,
-				Dir:         t.dir,
-				Time:        t.at,
-				DurationSec: cfg.TestDurationSec,
-				VMDownMbps:  cfg.DownlinkMbps,
-				VMUpMbps:    cfg.UplinkMbps,
-			})
+			err := runTest(t, ti, tally)
 			testSpan.End()
 			if err != nil {
-				return fmt.Errorf("orchestrator: test %d/%s/%s: %w", t.srv.ID, t.tier, t.dir, err)
+				return err
 			}
-			results[ti] = res
-			if t.capture {
-				if err := o.captureTest(cfg, t.srv, t.tier, t.at, res, w.collector, metrics); err != nil {
+			if completed[ti] && t.capture {
+				if err := o.captureTest(cfg, t.srv, t.tier, t.at, results[ti], w.collector, metrics); err != nil {
 					return err
 				}
 			}
@@ -567,9 +769,13 @@ func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, tasks []task, w
 	}
 
 	if err := forEachLimit(len(workers), cfg.Parallelism, runVM); err != nil {
-		return nil, err
+		return nil, nil, roundTally{}, err
 	}
-	return results, nil
+	var total roundTally
+	for i := range tallies {
+		total.add(tallies[i])
+	}
+	return results, completed, total, nil
 }
 
 // forEachLimit runs fn(0..n-1), at most `limit` calls in flight; limit <= 1

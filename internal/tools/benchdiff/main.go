@@ -1,0 +1,150 @@
+// Command benchdiff is the CI performance gate: it parses a fresh
+// `go test -bench -benchmem` run from stdin and compares every benchmark
+// that also appears in the committed BENCH_*.json records (-against,
+// repeatable). A benchmark fails the gate when its ns/op exceeds the
+// committed number by more than -max-ns-frac (default 0.25, i.e. +25%),
+// or when its allocs/op rises at all — allocation counts are
+// deterministic, so any increase is a real regression, while timings get
+// slack for machine noise. A committed record none of whose entries match
+// the fresh run is itself a failure: it means the bench regex drifted and
+// the gate is no longer measuring anything.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// record is one committed benchmark entry (a subset of benchjson's output
+// fields; unknown JSON keys are ignored).
+type record struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type benchFile struct {
+	Note       string   `json:"note"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	var against []string
+	flag.Func("against", "committed BENCH_*.json record to compare with (repeatable)", func(s string) error {
+		against = append(against, s)
+		return nil
+	})
+	maxNsFrac := flag.Float64("max-ns-frac", 0.25,
+		"allowed fractional ns/op increase over the committed number")
+	flag.Parse()
+	if len(against) == 0 {
+		fatal(fmt.Errorf("no -against files given"))
+	}
+
+	fresh, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(fresh) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	bad, compared := 0, 0
+	for _, path := range against {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		var bf benchFile
+		if err := json.Unmarshal(raw, &bf); err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		matched := 0
+		for _, c := range bf.Benchmarks {
+			f, ok := fresh[c.Name]
+			if !ok {
+				continue
+			}
+			matched++
+			if c.NsPerOp > 0 && f.NsPerOp > c.NsPerOp*(1+*maxNsFrac) {
+				fmt.Printf("benchdiff: FAIL %s: %.4g ns/op vs committed %.4g (+%.0f%%, budget +%.0f%%) [%s]\n",
+					c.Name, f.NsPerOp, c.NsPerOp,
+					(f.NsPerOp/c.NsPerOp-1)*100, *maxNsFrac*100, path)
+				bad++
+			}
+			if f.AllocsPerOp > c.AllocsPerOp {
+				fmt.Printf("benchdiff: FAIL %s: %.0f allocs/op vs committed %.0f — any increase is a regression [%s]\n",
+					c.Name, f.AllocsPerOp, c.AllocsPerOp, path)
+				bad++
+			}
+		}
+		if matched == 0 {
+			fatal(fmt.Errorf("no fresh benchmark matches any entry in %s — bench regex drift?", path))
+		}
+		compared += matched
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: OK (%d comparisons across %d committed records, all within budget)\n",
+		compared, len(against))
+}
+
+// parseBench extracts Benchmark lines from `go test -bench` output, the
+// same format benchjson records: the Benchmark prefix and the trailing -N
+// GOMAXPROCS suffix are stripped so names join against the JSON entries.
+// With -count=N the same name appears N times; the minimum ns/op and
+// allocs/op are kept — the minimum is the most repeatable timing
+// estimator on a noisy machine, and the gate only looks for regressions.
+func parseBench(r io.Reader) (map[string]record, error) {
+	out := map[string]record{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.TrimPrefix(fields[0], "Benchmark")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		res := record{Name: name}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		if prev, ok := out[res.Name]; ok {
+			if prev.NsPerOp < res.NsPerOp {
+				res.NsPerOp = prev.NsPerOp
+			}
+			if prev.AllocsPerOp < res.AllocsPerOp {
+				res.AllocsPerOp = prev.AllocsPerOp
+			}
+		}
+		out[res.Name] = res
+	}
+	return out, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command faultsmoke is the CI fault-injection gate: it runs a small
+// topology campaign under the flaky-vm profile and asserts the platform
+// degrades gracefully instead of aborting — the campaign completes, the
+// injected faults actually fired, and the partial-round accounting
+// balances (completed + dropped = scheduled). It is the end-to-end
+// counterpart of the orchestrator's fault unit tests, exercising the
+// whole stack from the public clasp API down through core, cloud and
+// netsim with injection live.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/clasp-measurement/clasp"
+	"github.com/clasp-measurement/clasp/internal/orchestrator"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("faultsmoke: OK")
+}
+
+func run() error {
+	p, err := clasp.New(clasp.Options{
+		Seed:         7,
+		Scale:        0.25,
+		Parallelism:  2,
+		FaultProfile: "flaky-vm",
+	})
+	if err != nil {
+		return err
+	}
+	res, err := p.RunTopologyCampaign("us-east1", 1)
+	if err != nil {
+		return fmt.Errorf("flaky-vm campaign aborted instead of degrading: %w", err)
+	}
+	rep := res.Report
+	if rep.Tests == 0 {
+		return fmt.Errorf("flaky-vm campaign completed no tests")
+	}
+	if len(res.Records) != rep.Tests {
+		return fmt.Errorf("result holds %d records, report says %d tests completed",
+			len(res.Records), rep.Tests)
+	}
+
+	// The gate is meaningless if nothing fired: flaky-vm at this seed and
+	// scale must inject at least one fault somewhere in the stack.
+	fired := rep.Failed + rep.Retried + rep.Dropped + rep.Preemptions + rep.VMCreateRetries
+	if fired == 0 {
+		return fmt.Errorf("flaky-vm profile injected nothing (report %+v)", rep)
+	}
+
+	// Partial-round accounting must balance: every scheduled test is either
+	// completed or explicitly dropped, never silently lost.
+	scheduled := len(res.Selected) * orchestrator.TestsPerServerPerHour * 24
+	if rep.Tests+rep.Dropped != scheduled {
+		return fmt.Errorf("books don't balance: %d completed + %d dropped != %d scheduled",
+			rep.Tests, rep.Dropped, scheduled)
+	}
+	if rep.Failed < rep.Dropped {
+		return fmt.Errorf("Failed (%d) < Dropped (%d): a drop implies at least one failed attempt",
+			rep.Failed, rep.Dropped)
+	}
+
+	fmt.Printf("faultsmoke: %d/%d tests completed; %d failed attempts, %d retries, %d dropped, %d preemptions, %d create retries\n",
+		rep.Tests, scheduled, rep.Failed, rep.Retried, rep.Dropped, rep.Preemptions, rep.VMCreateRetries)
+	return nil
+}
