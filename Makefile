@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke bench-check ci
+.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke bench-check ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,10 @@ race:
 # A second pass records the observability numbers in BENCH_obs.json:
 # MeasureWarm vs MeasureWarmObs is the metrics-enabled overhead (budget 5%),
 # and the BenchmarkObs* entries pin the disabled paths at 0 allocs/op.
+# The fourth pass records the analysis-engine numbers in BENCH_analysis.json,
+# joined with the pre-engine baselines from BENCH_analysis_baseline.txt; it
+# runs -count=3 (benchjson keeps the min) because the ms-scale analysis
+# kernels see far fewer iterations per run than the ns-scale hot-path ones.
 bench:
 	$(GO) test -run=^$$ -bench='BenchmarkMeasure|BenchmarkInsert' -benchmem \
 		./internal/netsim/ ./internal/tsdb/ | tee -a /dev/stderr | \
@@ -45,6 +49,11 @@ bench:
 		$(GO) run ./internal/tools/benchjson \
 		-note "fault injection: FaultsDisabledMeasureCtx vs MeasureWarm (BENCH_obs.json) is the nil-injector overhead on the fault-free campaign path, budget 0 allocs/op (pinned by TestMeasureCtxDisabledPathZeroAlloc); FaultsBeforeMeasureMiss is the per-test decision cost under an active profile; FaultsBackoff is the per-retry schedule computation" \
 		-out BENCH_faults.json
+	$(GO) test -run=^$$ -bench='BenchmarkAnalysis' -benchmem -count=3 \
+		./internal/analysis/ ./internal/congestion/ ./internal/tsdb/ . | tee -a /dev/stderr | \
+		$(GO) run ./internal/tools/benchjson -baseline BENCH_analysis_baseline.txt \
+		-note "analysis engine: grouping and sweep kernels, percentile rollup, and the end-to-end CongestionReport; Speedup joins the pre-engine numbers in BENCH_analysis_baseline.txt (map-of-slices grouping, per-threshold re-splits, serial report)" \
+		-out BENCH_analysis.json
 
 # bench-all runs every benchmark in the repo.
 bench-all:
@@ -63,6 +72,12 @@ bench-smoke:
 obs-smoke:
 	$(GO) run ./internal/tools/obssmoke
 
+# analysis-smoke runs the same campaign and congestion report at
+# parallelism 1 and 4 and fails unless the rendered reports are
+# byte-identical — the analysis engine's deterministic-merge gate.
+analysis-smoke:
+	$(GO) run ./internal/tools/analysissmoke
+
 # fault-smoke runs a small end-to-end campaign under the flaky-vm fault
 # profile through the public clasp API and asserts the platform degrades
 # gracefully: faults fire, the campaign completes, and the partial-round
@@ -78,13 +93,16 @@ fault-smoke:
 # scheduler can't produce a false regression.
 bench-check:
 	$(GO) test -run=^$$ -count=3 -benchtime=0.5s \
-		-bench='BenchmarkMeasure|BenchmarkInsert|BenchmarkObs|BenchmarkFaults' -benchmem \
-		./internal/netsim/ ./internal/tsdb/ ./internal/obs/ ./internal/faults/ | tee -a /dev/stderr | \
+		-bench='BenchmarkMeasure|BenchmarkInsert|BenchmarkObs|BenchmarkFaults|BenchmarkAnalysis' -benchmem \
+		./internal/netsim/ ./internal/tsdb/ ./internal/obs/ ./internal/faults/ \
+		./internal/analysis/ ./internal/congestion/ . | tee -a /dev/stderr | \
 		$(GO) run ./internal/tools/benchdiff \
-		-against BENCH_hotpath.json -against BENCH_obs.json -against BENCH_faults.json
+		-against BENCH_hotpath.json -against BENCH_obs.json -against BENCH_faults.json \
+		-against BENCH_analysis.json
 
 # ci is the gate for every change: formatting, tier-1 build + tests,
 # static checks, the full suite under the race detector, a benchmark
-# smoke run, the observability and fault-injection smoke gates, and the
-# benchmark regression check against the committed BENCH_*.json records.
-ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke bench-check
+# smoke run, the observability, fault-injection and analysis-determinism
+# smoke gates, and the benchmark regression check against the committed
+# BENCH_*.json records.
+ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke bench-check

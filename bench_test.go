@@ -137,7 +137,7 @@ func BenchmarkFig2a_CongestedDays(b *testing.B) {
 	f := getFixture(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		series := core.Fig2(f.topo, nil)
+		series := core.Fig2(f.topo, nil, 1)
 		printOnce(b, i, func(w io.Writer) { core.WriteFig2(w, series) })
 		if i == 0 {
 			for _, s := range series {

@@ -38,6 +38,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/hmm"
 	"github.com/clasp-measurement/clasp/internal/inband"
 	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/obs"
 )
 
 // Options configures a Platform.
@@ -161,27 +162,39 @@ type CongestionReport struct {
 }
 
 // CongestionReport runs the §3.3 detector over a campaign's download
-// measurements (premium tier).
+// measurements (premium tier). Per-series detection fans out across
+// Options.Parallelism workers; each worker builds one memoized day
+// partition per series, writes its tallies to its own index, and the
+// merge reads them back in index order — so the report is bit-identical
+// at any parallelism (pinned by TestCongestionReportGolden).
 func (p *Platform) CongestionReport(res *CampaignResult) (*CongestionReport, error) {
 	if res == nil || len(res.Records) == 0 {
 		return nil, fmt.Errorf("clasp: empty campaign result")
 	}
+	sp := obs.Trace("congestion_report").With("region", res.Region).WithInt("records", len(res.Records))
+	defer sp.End()
 	det := congestion.NewDetector()
 	withServer := analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium)
 	if len(withServer) == 0 {
 		return nil, fmt.Errorf("clasp: no premium download series in result")
 	}
-	rep := &CongestionReport{Region: res.Region}
-	var series []congestion.Series
-	for _, sw := range withServer {
-		series = append(series, sw.Series)
-		days := congestion.SplitDays(sw.Series, 0)
-		events := det.Events(sw.Series)
+	type pairTally struct {
+		summary             PairSummary
+		days, congestedDays int // qualifying days; V > H days
+		hours, events       int // samples on qualifying days; VH > H
+	}
+	tallies := make([]pairTally, len(withServer))
+	dsp := sp.Child("detect").WithInt("series", len(withServer)).WithInt("parallelism", p.engine.Opts.Parallelism)
+	analysis.ParallelFor(p.engine.Opts.Parallelism, len(withServer), func(i int) {
+		sw := withServer[i]
+		part := congestion.NewPartition(sw.Series)
+		days := part.Days(det.MinSamples)
+		events := det.EventsIn(part)
 		congDays := make(map[int]bool)
 		var hourCount [24]int
+		srv := p.engine.Topo.Server(sw.ServerID) // read-only lookups, safe across workers
 		for _, e := range events {
 			congDays[int(e.Time.Unix()/86400)] = true
-			srv := p.engine.Topo.Server(sw.ServerID)
 			if srv != nil {
 				if city, ok := p.engine.Topo.CityOf(srv.City); ok {
 					hourCount[city.LocalHour(e.Time.Hour())]++
@@ -195,17 +208,38 @@ func (p *Platform) CongestionReport(res *CampaignResult) (*CongestionReport, err
 				best, peak = n, h
 			}
 		}
-		rep.Pairs = append(rep.Pairs, PairSummary{
+		t := &tallies[i]
+		t.summary = PairSummary{
 			PairID:        sw.Series.PairID,
 			ServerID:      sw.ServerID,
 			Days:          len(days),
 			CongestedDays: len(congDays),
 			Events:        len(events),
 			PeakHourLocal: peak,
-		})
+		}
+		t.congestedDays, t.days = part.DayTally(det.H, det.MinSamples)
+		t.events, t.hours = part.HourTally(det.H, det.MinSamples)
+	})
+	dsp.End()
+	rep := &CongestionReport{Region: res.Region, Pairs: make([]PairSummary, 0, len(tallies))}
+	// Campaign-wide fractions fold the per-series integer tallies, in index
+	// order, and divide once — order-independent, so identical to the
+	// serial FractionCongested{Hours,Days} path.
+	var dTot, dCong, hTot, hCong int
+	for i := range tallies {
+		t := &tallies[i]
+		rep.Pairs = append(rep.Pairs, t.summary)
+		dTot += t.days
+		dCong += t.congestedDays
+		hTot += t.hours
+		hCong += t.events
 	}
-	rep.HourFraction = congestion.FractionCongestedHours(series, congestion.DefaultThreshold, 0)
-	rep.DayFraction = congestion.FractionCongestedDays(series, congestion.DefaultThreshold, 0)
+	if hTot > 0 {
+		rep.HourFraction = float64(hCong) / float64(hTot)
+	}
+	if dTot > 0 {
+		rep.DayFraction = float64(dCong) / float64(dTot)
+	}
 	sortPairs(rep.Pairs)
 	return rep, nil
 }

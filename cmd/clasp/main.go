@@ -20,8 +20,9 @@
 //	-days N         campaign length in virtual days (default 30)
 //	-samples N      differential-scan minimum tuple samples (default scales
 //	                with the topology)
-//	-parallelism N  concurrent VM workers per campaign round (default 1;
-//	                results are identical at any value for the same seed)
+//	-parallelism N  concurrent VM workers per campaign round and analysis
+//	                workers per report (default 1; campaigns and reports
+//	                are identical at any value for the same seed)
 //	-fault-profile P  fault-injection profile: none (default), flaky-vm, or
 //	                congested-server; campaigns retry, degrade and account
 //	                for the injected failures deterministically per seed
@@ -69,7 +70,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.25, "topology scale (1.0 = paper scale)")
 	days := fs.Int("days", 30, "campaign length in virtual days")
 	samples := fs.Int("samples", 0, "differential-scan minimum tuple samples")
-	parallelism := fs.Int("parallelism", 1, "concurrent VM workers per campaign round")
+	parallelism := fs.Int("parallelism", 1, "concurrent VM workers per campaign round and analysis workers per report")
 	faultProfile := fs.String("fault-profile", "none",
 		fmt.Sprintf("fault-injection profile (%s)", strings.Join(faults.Names(), ", ")))
 	metricsOut := fs.String("metrics-out", "", "enable metrics and write Prometheus text to this file (JSON snapshot beside it as <file>.json)")
@@ -324,7 +325,7 @@ func report(out *os.File, p *clasp.Platform, cache *campaignCache, artifact stri
 		if err != nil {
 			return err
 		}
-		core.WriteFig2(out, core.Fig2(results, nil))
+		core.WriteFig2(out, core.Fig2(results, nil, p.Engine().Opts.Parallelism))
 
 	case "fig3":
 		res, _, err := cache.topology(eng, "us-west1", days)

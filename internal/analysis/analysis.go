@@ -8,11 +8,14 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/congestion"
 	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/stats"
 	"github.com/clasp-measurement/clasp/internal/topology"
 	"github.com/clasp-measurement/clasp/internal/tsdb"
@@ -44,35 +47,29 @@ func (m Measurement) Key() PairKey {
 	return PairKey{ServerID: m.ServerID, Region: m.Region, Tier: m.Tier, Dir: m.Dir}
 }
 
+// pairIDString renders "region/serverID/tier/dir" without fmt — the only
+// string construction in the grouping hot loop, called once per pair.
+func pairIDString(region string, serverID int, tier bgp.Tier, dir netsim.Direction) string {
+	t, d := tier.String(), dir.String()
+	b := make([]byte, 0, len(region)+len(t)+len(d)+23)
+	b = append(b, region...)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(serverID), 10)
+	b = append(b, '/')
+	b = append(b, t...)
+	b = append(b, '/')
+	b = append(b, d...)
+	return string(b)
+}
+
 // GroupSeries converts measurements into congestion-analysis series, one
-// per pair, filtered by direction and tier.
+// per pair, filtered by direction and tier. It is a projection of
+// GroupSeriesWithServer (same kernel, server attribution dropped).
 func GroupSeries(ms []Measurement, dir netsim.Direction, tier bgp.Tier) []congestion.Series {
-	byPair := make(map[PairKey][]congestion.Sample)
-	for _, m := range ms {
-		if m.Dir != dir || m.Tier != tier {
-			continue
-		}
-		k := m.Key()
-		byPair[k] = append(byPair[k], congestion.Sample{Time: m.Time, Mbps: m.Mbps})
-	}
-	keys := make([]PairKey, 0, len(byPair))
-	for k := range byPair {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Region != keys[j].Region {
-			return keys[i].Region < keys[j].Region
-		}
-		return keys[i].ServerID < keys[j].ServerID
-	})
-	out := make([]congestion.Series, 0, len(keys))
-	for _, k := range keys {
-		samples := byPair[k]
-		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
-		out = append(out, congestion.Series{
-			PairID:  fmt.Sprintf("%s/%d/%s/%s", k.Region, k.ServerID, k.Tier, k.Dir),
-			Samples: samples,
-		})
+	withServer := GroupSeriesWithServer(ms, dir, tier)
+	out := make([]congestion.Series, len(withServer))
+	for i := range withServer {
+		out[i] = withServer[i].Series
 	}
 	return out
 }
@@ -84,39 +81,161 @@ type SeriesWithServer struct {
 	Series   congestion.Series
 }
 
-// GroupSeriesWithServer is GroupSeries keeping the server attribution that
-// the congestion-by-business-type and Fig. 6 analyses need.
+// denseServerMax bounds the dense serverID→slot tables: IDs in [0, denseMax)
+// index a flat slice (no hashing); anything else falls back to a map keyed
+// by the full PairKey. Real topologies number servers from zero, so the
+// fallback never runs in practice.
+const denseServerMax = 1 << 20
+
+// groupBuffers is the per-call scratch of the grouping kernel — the staged
+// samples and their slot assignments never escape, so they are pooled.
+type groupBuffers struct {
+	samples []congestion.Sample
+	slotOf  []int32
+}
+
+var groupScratch = sync.Pool{New: func() any { return new(groupBuffers) }}
+
+// GroupSeriesWithServer groups measurements into per-pair series with the
+// server attribution the congestion-by-business-type and Fig. 6 analyses
+// need. One count-then-fill kernel: pass 1 stages each matching sample in a
+// pooled scratch buffer and resolves its pair slot through interned regions
+// plus a dense serverID table (no string hashing in the hot loop), then a
+// scatter pass fills one contiguous pre-sized buffer whose subslices become
+// the series. Sortedness is tracked per slot during the scan, so already
+// time-ordered pairs (the campaign's hour-major layout) skip sorting.
 func GroupSeriesWithServer(ms []Measurement, dir netsim.Direction, tier bgp.Tier) []SeriesWithServer {
-	byPair := make(map[PairKey][]congestion.Sample)
-	for _, m := range ms {
+	sp := obs.Trace("analysis.group").WithInt("records", len(ms))
+	defer sp.End()
+	obsGroupCalls.Inc()
+	obsGroupRecords.Add(uint64(len(ms)))
+
+	type pairSlot struct {
+		regionIdx   int32
+		serverID    int
+		count, next int       // sample count; fill cursor into buf
+		last        time.Time // last staged sample time, for the sorted check
+		unsorted    bool
+	}
+	var (
+		regions    []string  // interned region names; index = regionIdx
+		tables     [][]int32 // per region: serverID -> slot+1
+		lastRegion string
+		lastIdx    int32
+		overflow   map[PairKey]int32 // IDs outside [0, denseServerMax)
+		slots      []pairSlot
+	)
+	gb := groupScratch.Get().(*groupBuffers)
+	tmp := gb.samples[:0]
+	slotOf := gb.slotOf[:0]
+	for i := range ms {
+		m := &ms[i]
 		if m.Dir != dir || m.Tier != tier {
 			continue
 		}
-		byPair[m.Key()] = append(byPair[m.Key()], congestion.Sample{Time: m.Time, Mbps: m.Mbps})
-	}
-	keys := make([]PairKey, 0, len(byPair))
-	for k := range byPair {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Region != keys[j].Region {
-			return keys[i].Region < keys[j].Region
+		ri := lastIdx
+		if m.Region != lastRegion || regions == nil {
+			ri = -1
+			for r, name := range regions {
+				if name == m.Region {
+					ri = int32(r)
+					break
+				}
+			}
+			if ri < 0 {
+				ri = int32(len(regions))
+				regions = append(regions, m.Region)
+				tables = append(tables, nil)
+			}
+			lastRegion, lastIdx = m.Region, ri
 		}
-		return keys[i].ServerID < keys[j].ServerID
+		var si int32
+		if id := m.ServerID; id >= 0 && id < denseServerMax {
+			t := tables[ri]
+			if id >= len(t) {
+				nt := make([]int32, id+64)
+				copy(nt, t)
+				tables[ri] = nt
+				t = nt
+			}
+			si = t[id] - 1
+			if si < 0 {
+				si = int32(len(slots))
+				t[id] = si + 1
+				slots = append(slots, pairSlot{regionIdx: ri, serverID: id})
+			}
+		} else {
+			if overflow == nil {
+				overflow = make(map[PairKey]int32)
+			}
+			k := PairKey{ServerID: id, Region: m.Region, Tier: tier, Dir: dir}
+			v, ok := overflow[k]
+			if !ok {
+				v = int32(len(slots))
+				overflow[k] = v
+				slots = append(slots, pairSlot{regionIdx: ri, serverID: id})
+			}
+			si = v
+		}
+		s := &slots[si]
+		if s.count > 0 && m.Time.Before(s.last) {
+			s.unsorted = true
+		}
+		s.last = m.Time
+		s.count++
+		tmp = append(tmp, congestion.Sample{Time: m.Time, Mbps: m.Mbps})
+		slotOf = append(slotOf, si)
+	}
+	if len(slots) == 0 {
+		gb.samples, gb.slotOf = tmp, slotOf
+		groupScratch.Put(gb)
+		return nil
+	}
+	// Deterministic pair order: region, then server ID (unchanged from the
+	// map-of-slices implementation).
+	order := make([]int32, len(slots))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ka, kb := &slots[order[a]], &slots[order[b]]
+		if ka.regionIdx != kb.regionIdx {
+			return regions[ka.regionIdx] < regions[kb.regionIdx]
+		}
+		return ka.serverID < kb.serverID
 	})
-	out := make([]SeriesWithServer, 0, len(keys))
-	for _, k := range keys {
-		samples := byPair[k]
-		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
+	total := len(tmp)
+	off := 0
+	for _, si := range order {
+		slots[si].next = off
+		off += slots[si].count
+	}
+	buf := make([]congestion.Sample, total)
+	for j, si := range slotOf {
+		s := &slots[si]
+		buf[s.next] = tmp[j]
+		s.next++
+	}
+	out := make([]SeriesWithServer, 0, len(order))
+	for _, si := range order {
+		s := &slots[si]
+		samples := buf[s.next-s.count : s.next : s.next]
+		if s.unsorted {
+			sort.Slice(samples, func(a, b int) bool { return samples[a].Time.Before(samples[b].Time) })
+		}
 		out = append(out, SeriesWithServer{
-			ServerID: k.ServerID,
-			Region:   k.Region,
+			ServerID: s.serverID,
+			Region:   regions[s.regionIdx],
 			Series: congestion.Series{
-				PairID:  fmt.Sprintf("%s/%d/%s/%s", k.Region, k.ServerID, k.Tier, k.Dir),
+				PairID:  pairIDString(regions[s.regionIdx], s.serverID, tier, dir),
 				Samples: samples,
 			},
 		})
 	}
+	gb.samples, gb.slotOf = tmp, slotOf
+	groupScratch.Put(gb)
+	obsGroupSeries.Add(uint64(len(out)))
+	sp.WithInt("series", len(out))
 	return out
 }
 
@@ -158,31 +277,72 @@ type PerfPoint struct {
 
 // PerfPoints computes one point per (server, region, month) from download
 // measurements, mirroring Fig. 4's use of p95/p5 to mitigate outliers.
+// Same count-then-fill kernel as the series grouping, with interned region
+// names keeping strings out of the slot map. The per-group throughput and
+// latency samples land in two contiguous buffers and each percentile is
+// selected (stats.PercentileInPlace) rather than paying a full sort.
 func PerfPoints(ms []Measurement) []PerfPoint {
-	type key struct {
-		server int
-		region string
-		year   int
-		month  time.Month
+	type slotKey struct {
+		server, ym int // ym = year*12 + month: (year, month) order preserved
+		ri         int32
 	}
-	down := make(map[key][]float64)
-	lat := make(map[key][]float64)
-	for _, m := range ms {
+	type slot struct {
+		server      int
+		ri          int32
+		year        int
+		month       time.Month
+		count, next int
+	}
+	var (
+		regions    []string
+		lastRegion string
+		lastIdx    int32
+	)
+	idx := make(map[slotKey]int32)
+	var slots []slot
+	var slotOf []int32
+	for i := range ms {
+		m := &ms[i]
 		if m.Dir != netsim.Download {
 			continue
 		}
-		k := key{m.ServerID, m.Region, m.Time.Year(), m.Time.Month()}
-		down[k] = append(down[k], m.Mbps)
-		lat[k] = append(lat[k], m.RTTms)
+		ri := lastIdx
+		if m.Region != lastRegion || regions == nil {
+			ri = -1
+			for r, name := range regions {
+				if name == m.Region {
+					ri = int32(r)
+					break
+				}
+			}
+			if ri < 0 {
+				ri = int32(len(regions))
+				regions = append(regions, m.Region)
+			}
+			lastRegion, lastIdx = m.Region, ri
+		}
+		year, month, _ := m.Time.Date()
+		k := slotKey{server: m.ServerID, ym: year*12 + int(month), ri: ri}
+		si, ok := idx[k]
+		if !ok {
+			si = int32(len(slots))
+			idx[k] = si
+			slots = append(slots, slot{server: m.ServerID, ri: ri, year: year, month: month})
+		}
+		slots[si].count++
+		slotOf = append(slotOf, si)
 	}
-	keys := make([]key, 0, len(down))
-	for k := range down {
-		keys = append(keys, k)
+	if len(slots) == 0 {
+		return nil
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, b := keys[i], keys[j]
-		if a.region != b.region {
-			return a.region < b.region
+	order := make([]int32, len(slots))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := &slots[order[i]], &slots[order[j]]
+		if a.ri != b.ri {
+			return regions[a.ri] < regions[b.ri]
 		}
 		if a.server != b.server {
 			return a.server < b.server
@@ -192,17 +352,35 @@ func PerfPoints(ms []Measurement) []PerfPoint {
 		}
 		return a.month < b.month
 	})
-	out := make([]PerfPoint, 0, len(keys))
-	for _, k := range keys {
-		d := down[k]
-		l := lat[k]
-		p95, err1 := stats.Percentile(d, 95)
-		p5, err2 := stats.Percentile(l, 5)
-		if err1 != nil || err2 != nil {
+	total := len(slotOf)
+	off := 0
+	for _, si := range order {
+		slots[si].next = off
+		off += slots[si].count
+	}
+	down := make([]float64, total)
+	lat := make([]float64, total)
+	j := 0
+	for i := range ms {
+		m := &ms[i]
+		if m.Dir != netsim.Download {
 			continue
 		}
+		s := &slots[slotOf[j]]
+		j++
+		down[s.next] = m.Mbps
+		lat[s.next] = m.RTTms
+		s.next++
+	}
+	out := make([]PerfPoint, 0, len(order))
+	for _, si := range order {
+		s := &slots[si]
+		d := down[s.next-s.count : s.next]
+		l := lat[s.next-s.count : s.next]
+		p95, _ := stats.PercentileInPlace(d, 95)
+		p5, _ := stats.PercentileInPlace(l, 5)
 		out = append(out, PerfPoint{
-			ServerID: k.server, Region: k.region, Month: k.month, Year: k.year,
+			ServerID: s.server, Region: regions[s.ri], Month: s.month, Year: s.year,
 			P95Down: p95, P5LatMs: p5, N: len(d),
 		})
 	}

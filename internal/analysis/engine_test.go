@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/congestion"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/tsdb"
+)
+
+// naiveGroup is the pre-kernel map-of-slices implementation, kept here as
+// the reference the count-then-fill kernel must reproduce exactly.
+func naiveGroup(ms []Measurement, dir netsim.Direction, tier bgp.Tier) []SeriesWithServer {
+	byPair := make(map[PairKey][]congestion.Sample)
+	for _, m := range ms {
+		if m.Dir != dir || m.Tier != tier {
+			continue
+		}
+		byPair[m.Key()] = append(byPair[m.Key()], congestion.Sample{Time: m.Time, Mbps: m.Mbps})
+	}
+	keys := make([]PairKey, 0, len(byPair))
+	for k := range byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Region != keys[j].Region {
+			return keys[i].Region < keys[j].Region
+		}
+		return keys[i].ServerID < keys[j].ServerID
+	})
+	out := make([]SeriesWithServer, 0, len(keys))
+	for _, k := range keys {
+		samples := byPair[k]
+		sort.Slice(samples, func(i, j int) bool { return samples[i].Time.Before(samples[j].Time) })
+		out = append(out, SeriesWithServer{
+			ServerID: k.ServerID,
+			Region:   k.Region,
+			Series: congestion.Series{
+				PairID:  fmt.Sprintf("%s/%d/%s/%s", k.Region, k.ServerID, k.Tier, k.Dir),
+				Samples: samples,
+			},
+		})
+	}
+	return out
+}
+
+// randomMeasurements mixes regions, tiers, directions and (optionally)
+// shuffled timestamps, so the kernel's sort/skip-sort paths both run.
+func randomMeasurements(seed int64, n int, shuffleTime bool) []Measurement {
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	regions := []string{"us-west1", "us-east1", "europe-west1"}
+	tiers := []bgp.Tier{bgp.Premium, bgp.Standard}
+	dirs := []netsim.Direction{netsim.Download, netsim.Upload}
+	out := make([]Measurement, 0, n)
+	for i := 0; i < n; i++ {
+		at := start.Add(time.Duration(i) * time.Minute)
+		if shuffleTime {
+			at = start.Add(time.Duration(rng.Intn(n)) * time.Minute)
+		}
+		out = append(out, Measurement{
+			ServerID: 100 + rng.Intn(12),
+			Region:   regions[rng.Intn(len(regions))],
+			Tier:     tiers[rng.Intn(len(tiers))],
+			Dir:      dirs[rng.Intn(len(dirs))],
+			Time:     at,
+			Mbps:     50 + 400*rng.Float64(),
+			RTTms:    5 + 50*rng.Float64(),
+			Loss:     rng.Float64() * 0.01,
+		})
+	}
+	return out
+}
+
+func TestGroupSeriesWithServerMatchesNaive(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		shuffle bool
+	}{{"time-sorted", false}, {"time-shuffled", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			ms := randomMeasurements(7, 4000, tc.shuffle)
+			for _, dir := range []netsim.Direction{netsim.Download, netsim.Upload} {
+				got := GroupSeriesWithServer(ms, dir, bgp.Premium)
+				want := naiveGroup(ms, dir, bgp.Premium)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d series, want %d", dir, len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ServerID != want[i].ServerID || got[i].Region != want[i].Region ||
+						got[i].Series.PairID != want[i].Series.PairID {
+						t.Fatalf("%s series %d: header %+v != %+v", dir, i, got[i], want[i])
+					}
+					if !reflect.DeepEqual(got[i].Series.Samples, want[i].Series.Samples) {
+						t.Fatalf("%s series %d (%s): samples differ", dir, i, got[i].Series.PairID)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGroupSeriesIsProjection(t *testing.T) {
+	ms := randomMeasurements(11, 2000, true)
+	ws := GroupSeriesWithServer(ms, netsim.Download, bgp.Premium)
+	series := GroupSeries(ms, netsim.Download, bgp.Premium)
+	if len(series) != len(ws) {
+		t.Fatalf("lengths differ: %d vs %d", len(series), len(ws))
+	}
+	for i := range series {
+		if !reflect.DeepEqual(series[i], ws[i].Series) {
+			t.Fatalf("series %d differs from projection", i)
+		}
+	}
+}
+
+func TestGroupSeriesEmpty(t *testing.T) {
+	if got := GroupSeriesWithServer(nil, netsim.Download, bgp.Premium); len(got) != 0 {
+		t.Errorf("nil input: %d series", len(got))
+	}
+	// Records present but none matching the filter.
+	ms := randomMeasurements(3, 50, false)
+	for i := range ms {
+		ms[i].Tier = bgp.Standard
+	}
+	if got := GroupSeries(ms, netsim.Download, bgp.Premium); len(got) != 0 {
+		t.Errorf("no matches: %d series", len(got))
+	}
+}
+
+func TestPerfPointsMatchesPercentile(t *testing.T) {
+	ms := randomMeasurements(13, 3000, true)
+	pts := PerfPoints(ms)
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// Recompute one point the naive way.
+	p := pts[len(pts)/2]
+	var down, lat []float64
+	for _, m := range ms {
+		if m.Dir != netsim.Download || m.ServerID != p.ServerID || m.Region != p.Region ||
+			m.Time.Year() != p.Year || m.Time.Month() != p.Month {
+			continue
+		}
+		down = append(down, m.Mbps)
+		lat = append(lat, m.RTTms)
+	}
+	if len(down) != p.N {
+		t.Fatalf("N = %d, want %d", p.N, len(down))
+	}
+	sort.Float64s(down)
+	sort.Float64s(lat)
+	if want := percentileRef(down, 95); p.P95Down != want {
+		t.Errorf("P95Down = %v, want %v", p.P95Down, want)
+	}
+	if want := percentileRef(lat, 5); p.P5LatMs != want {
+		t.Errorf("P5LatMs = %v, want %v", p.P5LatMs, want)
+	}
+}
+
+// percentileRef re-derives the linear-interpolation percentile locally so
+// the test does not depend on the stats package internals.
+func percentileRef(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 4, 16, 100} {
+		n := 257
+		var hits atomic.Int64
+		out := make([]int, n)
+		ParallelFor(par, n, func(i int) {
+			out[i] = i * i
+			hits.Add(1)
+		})
+		if hits.Load() != int64(n) {
+			t.Fatalf("par=%d: fn ran %d times, want %d", par, hits.Load(), n)
+		}
+		for i := range out {
+			if out[i] != i*i {
+				t.Fatalf("par=%d: index %d not computed", par, i)
+			}
+		}
+	}
+	ParallelFor(4, 0, func(i int) { t.Fatal("fn called for n=0") })
+}
+
+func TestParallelForDeterministicOutput(t *testing.T) {
+	ms := randomMeasurements(17, 3000, false)
+	ws := GroupSeriesWithServer(ms, netsim.Download, bgp.Premium)
+	run := func(par int) []int {
+		out := make([]int, len(ws))
+		ParallelFor(par, len(ws), func(i int) {
+			det := congestion.NewDetector()
+			out[i] = len(det.Events(ws[i].Series))
+		})
+		return out
+	}
+	serial := run(1)
+	for _, par := range []int{2, 4, 16} {
+		if got := run(par); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("parallelism %d diverged from serial", par)
+		}
+	}
+}
+
+// TestParallelAnalysisConcurrentWithInserts drives the parallel analysis
+// engine while another goroutine streams inserts into the time-series
+// store — the continuous re-analysis shape (Globalping-style) where
+// reports are computed mid-campaign. Run under -race in CI.
+func TestParallelAnalysisConcurrentWithInserts(t *testing.T) {
+	store := tsdb.NewStore()
+	ms := randomMeasurements(23, 2000, false)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i, m := range ms {
+			err := store.Insert("speedtest",
+				tsdb.Tags{"server": strconv.Itoa(m.ServerID), "region": m.Region, "tier": m.Tier.String(), "dir": m.Dir.String()},
+				m.Time, map[string]float64{"mbps": m.Mbps, "rtt_ms": m.RTTms})
+			if err != nil {
+				t.Errorf("insert %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	det := congestion.NewDetector()
+	for round := 0; round < 4; round++ {
+		ws := GroupSeriesWithServer(ms, netsim.Download, bgp.Premium)
+		events := make([]int, len(ws))
+		ParallelFor(8, len(ws), func(i int) {
+			p := congestion.NewPartition(ws[i].Series)
+			events[i] = len(det.EventsIn(p))
+		})
+		// Interleave reads of the store mid-insert.
+		series := SeriesFromStore(store, netsim.Download, bgp.Premium)
+		ParallelFor(4, len(series), func(i int) {
+			congestion.NewPartition(series[i]).DayTally(0.5, 0)
+		})
+	}
+	<-done
+	if got := SeriesFromStore(store, netsim.Download, bgp.Premium); len(got) == 0 {
+		t.Fatal("no series reached the store")
+	}
+}

@@ -13,7 +13,6 @@ package congestion
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/stats"
@@ -48,35 +47,11 @@ type Day struct {
 
 // SplitDays summarises a series into per-day V(s,d) records. Days with
 // fewer than minSamples observations are skipped (a half-covered day can
-// fake a low V).
+// fake a low V). One-shot convenience over NewPartition; callers that
+// evaluate several thresholds or both day and hour views should build the
+// Partition themselves and reuse it.
 func SplitDays(s Series, minSamples int) []Day {
-	if minSamples <= 0 {
-		minSamples = 4
-	}
-	byDay := make(map[int][]float64)
-	for _, smp := range s.Samples {
-		d := dayIndex(smp.Time)
-		byDay[d] = append(byDay[d], smp.Mbps)
-	}
-	days := make([]int, 0, len(byDay))
-	for d := range byDay {
-		days = append(days, d)
-	}
-	sort.Ints(days)
-	var out []Day
-	for _, d := range days {
-		xs := byDay[d]
-		if len(xs) < minSamples {
-			continue
-		}
-		min, max, _ := stats.MinMax(xs)
-		v := 0.0
-		if max > 0 {
-			v = (max - min) / max
-		}
-		out = append(out, Day{PairID: s.PairID, Day: d, Tmax: max, Tmin: min, V: v, Samples: len(xs)})
-	}
-	return out
+	return NewPartition(s).Days(minSamples)
 }
 
 // Event is one congested hour: VH(s,t) exceeded the threshold.
@@ -111,45 +86,17 @@ func (d *Detector) CongestedDays(s Series) []Day {
 // Events returns the congested hours of the series: samples whose
 // normalised intra-day difference VH(s,t) exceeds H.
 func (d *Detector) Events(s Series) []Event {
-	maxByDay := make(map[int]float64)
-	countByDay := make(map[int]int)
-	for _, smp := range s.Samples {
-		di := dayIndex(smp.Time)
-		countByDay[di]++
-		if smp.Mbps > maxByDay[di] {
-			maxByDay[di] = smp.Mbps
-		}
-	}
-	min := d.MinSamples
-	if min <= 0 {
-		min = 4
-	}
-	var out []Event
-	for _, smp := range s.Samples {
-		di := dayIndex(smp.Time)
-		tmax := maxByDay[di]
-		if tmax <= 0 || countByDay[di] < min {
-			continue
-		}
-		vh := (tmax - smp.Mbps) / tmax
-		if vh > d.H {
-			out = append(out, Event{PairID: s.PairID, Time: smp.Time, Mbps: smp.Mbps, Tmax: tmax, VH: vh})
-		}
-	}
-	return out
+	return d.EventsIn(NewPartition(s))
 }
 
 // FractionCongestedDays returns the fraction of pair-days with V > H
 // across many series (one point of Fig. 2a).
 func FractionCongestedDays(series []Series, h float64, minSamples int) float64 {
 	total, congested := 0, 0
-	for _, s := range series {
-		for _, day := range SplitDays(s, minSamples) {
-			total++
-			if day.V > h {
-				congested++
-			}
-		}
+	for i := range series {
+		c, t := NewPartition(series[i]).DayTally(h, minSamples)
+		congested += c
+		total += t
 	}
 	if total == 0 {
 		return 0
@@ -158,26 +105,15 @@ func FractionCongestedDays(series []Series, h float64, minSamples int) float64 {
 }
 
 // FractionCongestedHours returns the fraction of pair-hours with VH > H
-// (one point of Fig. 2b).
+// (one point of Fig. 2b). The denominator counts every sample on a
+// qualifying day; samples on zero-peak days are measured hours that can
+// never be events.
 func FractionCongestedHours(series []Series, h float64, minSamples int) float64 {
-	det := Detector{H: h, MinSamples: minSamples}
 	total, congested := 0, 0
-	for _, s := range series {
-		// Count only samples on qualifying days.
-		days := make(map[int]int)
-		for _, smp := range s.Samples {
-			days[dayIndex(smp.Time)]++
-		}
-		min := minSamples
-		if min <= 0 {
-			min = 4
-		}
-		for _, n := range days {
-			if n >= min {
-				total += n
-			}
-		}
-		congested += len(det.Events(s))
+	for i := range series {
+		e, n := NewPartition(series[i]).HourTally(h, minSamples)
+		congested += e
+		total += n
 	}
 	if total == 0 {
 		return 0
@@ -191,22 +127,18 @@ type SweepPoint struct {
 	Fraction float64
 }
 
-// SweepDays evaluates FractionCongestedDays over a threshold grid.
+// SweepDays evaluates FractionCongestedDays over a threshold grid. Each
+// series is split into days once; every threshold then scans the cached
+// partition, so the sweep costs one split plus |hs| cheap tallies instead
+// of |hs| full re-splits.
 func SweepDays(series []Series, hs []float64, minSamples int) []SweepPoint {
-	out := make([]SweepPoint, len(hs))
-	for i, h := range hs {
-		out[i] = SweepPoint{H: h, Fraction: FractionCongestedDays(series, h, minSamples)}
-	}
-	return out
+	return SweepDaysPartitioned(Partitions(series), hs, minSamples)
 }
 
-// SweepHours evaluates FractionCongestedHours over a threshold grid.
+// SweepHours evaluates FractionCongestedHours over a threshold grid, with
+// the same split-once memoization as SweepDays.
 func SweepHours(series []Series, hs []float64, minSamples int) []SweepPoint {
-	out := make([]SweepPoint, len(hs))
-	for i, h := range hs {
-		out[i] = SweepPoint{H: h, Fraction: FractionCongestedHours(series, h, minSamples)}
-	}
-	return out
+	return SweepHoursPartitioned(Partitions(series), hs, minSamples)
 }
 
 // ElbowThreshold locates the knee of a sweep with the maximum-distance-to-
@@ -263,12 +195,13 @@ func CongestedPair(s Series, det *Detector, fracDays float64) bool {
 	if fracDays <= 0 {
 		fracDays = 0.1
 	}
-	days := SplitDays(s, det.MinSamples)
+	p := NewPartition(s)
+	days := p.Days(det.MinSamples)
 	if len(days) == 0 {
 		return false
 	}
 	eventDays := make(map[int]bool)
-	for _, e := range det.Events(s) {
+	for _, e := range det.EventsIn(p) {
 		eventDays[dayIndex(e.Time)] = true
 	}
 	return float64(len(eventDays))/float64(len(days)) > fracDays

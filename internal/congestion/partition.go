@@ -1,0 +1,314 @@
+package congestion
+
+import (
+	"math"
+	"sort"
+
+	"github.com/clasp-measurement/clasp/internal/obs"
+	"github.com/clasp-measurement/clasp/internal/stats"
+)
+
+var (
+	obsPartitions  = obs.Default().Counter("congestion_partitions_total")
+	obsSweepPoints = obs.Default().Counter("congestion_sweep_points_total")
+)
+
+// Partition is the memoized per-day decomposition of one series. The
+// threshold sweeps of Fig. 2 evaluate the same series at ~20 thresholds;
+// before Partition existed every threshold re-split the series into days
+// from scratch. A Partition splits once and answers day/hour tallies for
+// any threshold from the cached decomposition, so a sweep is one split
+// plus a cheap scan per threshold.
+//
+// A Partition is cheap to build (one pass when samples are time-sorted,
+// as grouped campaign series are) and safe for concurrent *tallies* once
+// the lazy caches are warmed; the analysis engine builds one partition
+// per series inside each worker, so no cross-goroutine sharing occurs.
+type Partition struct {
+	pairID  string
+	samples []Sample
+	days    []Day   // ascending by day index; every day with >= 1 sample
+	dayOf   []int32 // per-sample index into days
+
+	// vhq caches VH(s,t) for samples on qualifying days (>= vhqMin
+	// samples); samples on zero-peak days are kept as NaN so they count
+	// as measured hours but can never exceed a threshold.
+	vhq    []float64
+	vhqMin int
+
+	medians []float64 // per-day sample medians, aligned with days
+}
+
+// NewPartition splits a series into its per-day summary once. All days
+// are retained regardless of sample count; qualification thresholds are
+// applied by the accessors so one partition serves any minSamples.
+func NewPartition(s Series) *Partition {
+	obsPartitions.Inc()
+	p := &Partition{pairID: s.PairID, samples: s.Samples}
+	n := len(s.Samples)
+	if n == 0 {
+		return p
+	}
+	p.dayOf = make([]int32, n)
+	// Grouped campaign series arrive time-sorted, so day indices are
+	// non-decreasing and the split is a single sequential pass. Fall
+	// back to a map for arbitrary input.
+	sorted := true
+	prev := dayIndex(s.Samples[0].Time)
+	for i := 1; i < n; i++ {
+		d := dayIndex(s.Samples[i].Time)
+		if d < prev {
+			sorted = false
+			break
+		}
+		prev = d
+	}
+	if sorted {
+		p.days = make([]Day, 0, n/16+1)
+		for i := range s.Samples {
+			smp := &s.Samples[i]
+			d := dayIndex(smp.Time)
+			if len(p.days) == 0 || d != p.days[len(p.days)-1].Day {
+				p.days = append(p.days, Day{PairID: s.PairID, Day: d, Tmax: smp.Mbps, Tmin: smp.Mbps, Samples: 1})
+			} else {
+				day := &p.days[len(p.days)-1]
+				if smp.Mbps > day.Tmax {
+					day.Tmax = smp.Mbps
+				}
+				if smp.Mbps < day.Tmin {
+					day.Tmin = smp.Mbps
+				}
+				day.Samples++
+			}
+			p.dayOf[i] = int32(len(p.days) - 1)
+		}
+	} else {
+		idx := make(map[int]int32)
+		for i := range s.Samples {
+			smp := &s.Samples[i]
+			d := dayIndex(smp.Time)
+			di, ok := idx[d]
+			if !ok {
+				di = int32(len(p.days))
+				idx[d] = di
+				p.days = append(p.days, Day{PairID: s.PairID, Day: d, Tmax: smp.Mbps, Tmin: smp.Mbps, Samples: 1})
+			} else {
+				day := &p.days[di]
+				if smp.Mbps > day.Tmax {
+					day.Tmax = smp.Mbps
+				}
+				if smp.Mbps < day.Tmin {
+					day.Tmin = smp.Mbps
+				}
+				day.Samples++
+			}
+			p.dayOf[i] = di
+		}
+		// Re-establish the ascending day order SplitDays promises, and
+		// remap the per-sample day indices to the sorted positions.
+		perm := make([]int32, len(p.days))
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sort.Slice(perm, func(a, b int) bool { return p.days[perm[a]].Day < p.days[perm[b]].Day })
+		sortedDays := make([]Day, len(p.days))
+		inv := make([]int32, len(p.days))
+		for pos, old := range perm {
+			sortedDays[pos] = p.days[old]
+			inv[old] = int32(pos)
+		}
+		p.days = sortedDays
+		for i, di := range p.dayOf {
+			p.dayOf[i] = inv[di]
+		}
+	}
+	for i := range p.days {
+		day := &p.days[i]
+		if day.Tmax > 0 {
+			day.V = (day.Tmax - day.Tmin) / day.Tmax
+		}
+	}
+	return p
+}
+
+// Days returns the per-day records with at least minSamples observations —
+// the same output as SplitDays on the original series.
+func (p *Partition) Days(minSamples int) []Day {
+	if minSamples <= 0 {
+		minSamples = 4
+	}
+	out := make([]Day, 0, len(p.days))
+	for _, d := range p.days {
+		if d.Samples >= minSamples {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// DayTally counts qualifying days and those with V > h without allocating.
+func (p *Partition) DayTally(h float64, minSamples int) (congested, total int) {
+	if minSamples <= 0 {
+		minSamples = 4
+	}
+	for i := range p.days {
+		if p.days[i].Samples < minSamples {
+			continue
+		}
+		total++
+		if p.days[i].V > h {
+			congested++
+		}
+	}
+	return congested, total
+}
+
+// hourVH returns VH(s,t) for every sample on a qualifying day, in sample
+// order. Samples on zero-peak days are NaN: they count as measured hours
+// but compare false against every threshold, matching Detector.Events'
+// skip rule. The slice is cached per minSamples (callers overwhelmingly
+// use one value).
+func (p *Partition) hourVH(minSamples int) []float64 {
+	if minSamples <= 0 {
+		minSamples = 4
+	}
+	if p.vhq != nil && p.vhqMin == minSamples {
+		return p.vhq
+	}
+	vhq := make([]float64, 0, len(p.samples))
+	for i := range p.samples {
+		day := &p.days[p.dayOf[i]]
+		if day.Samples < minSamples {
+			continue
+		}
+		if day.Tmax <= 0 {
+			vhq = append(vhq, math.NaN())
+			continue
+		}
+		vhq = append(vhq, (day.Tmax-p.samples[i].Mbps)/day.Tmax)
+	}
+	p.vhq, p.vhqMin = vhq, minSamples
+	return vhq
+}
+
+// HourTally counts qualifying samples and those with VH > h. The hours
+// total matches FractionCongestedHours' denominator and events matches
+// len(Detector.Events) at the same threshold.
+func (p *Partition) HourTally(h float64, minSamples int) (events, hours int) {
+	vhq := p.hourVH(minSamples)
+	for _, v := range vhq {
+		if v > h {
+			events++
+		}
+	}
+	return events, len(vhq)
+}
+
+// DayMedians returns the median throughput of every day in the partition
+// (aligned with the full, unfiltered day list), computed once and cached.
+// Medians are the robust per-day statistic variability detectors reach for
+// when Tmax is noise-prone; keeping them beside the partition means a
+// sweep that wants them pays one sort per day total, not per threshold.
+func (p *Partition) DayMedians() []float64 {
+	if p.medians != nil || len(p.days) == 0 {
+		return p.medians
+	}
+	meds := make([]float64, len(p.days))
+	scratch := make([]float64, 0, 32)
+	start := 0
+	for di := range p.days {
+		scratch = scratch[:0]
+		for i := start; i < len(p.samples); i++ {
+			if int(p.dayOf[i]) != di {
+				continue
+			}
+			scratch = append(scratch, p.samples[i].Mbps)
+		}
+		// Advance the scan start when samples are day-contiguous (the
+		// sorted fast path); the inner scan above stays correct either way.
+		for start < len(p.samples) && int(p.dayOf[start]) <= di {
+			start++
+		}
+		sort.Float64s(scratch)
+		meds[di] = stats.PercentileSorted(scratch, 50)
+	}
+	p.medians = meds
+	return meds
+}
+
+// EventsIn extracts the congestion events of a pre-built partition —
+// identical output to Events on the original series, without re-splitting.
+func (d *Detector) EventsIn(p *Partition) []Event {
+	min := d.MinSamples
+	if min <= 0 {
+		min = 4
+	}
+	var out []Event
+	for i := range p.samples {
+		day := &p.days[p.dayOf[i]]
+		if day.Tmax <= 0 || day.Samples < min {
+			continue
+		}
+		smp := &p.samples[i]
+		vh := (day.Tmax - smp.Mbps) / day.Tmax
+		if vh > d.H {
+			out = append(out, Event{PairID: p.pairID, Time: smp.Time, Mbps: smp.Mbps, Tmax: day.Tmax, VH: vh})
+		}
+	}
+	return out
+}
+
+// Partitions splits every series once, for callers that run several
+// tallies (day sweep + hour sweep, say) over the same series set.
+func Partitions(series []Series) []*Partition {
+	out := make([]*Partition, len(series))
+	for i := range series {
+		out[i] = NewPartition(series[i])
+	}
+	return out
+}
+
+// SweepDaysPartitioned evaluates the Fig. 2a day sweep over pre-built
+// partitions: one scan of the cached day summaries per threshold.
+func SweepDaysPartitioned(parts []*Partition, hs []float64, minSamples int) []SweepPoint {
+	out := make([]SweepPoint, len(hs))
+	for i, h := range hs {
+		congested, total := 0, 0
+		for _, p := range parts {
+			c, t := p.DayTally(h, minSamples)
+			congested += c
+			total += t
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(congested) / float64(total)
+		}
+		out[i] = SweepPoint{H: h, Fraction: frac}
+	}
+	obsSweepPoints.Add(uint64(len(hs)))
+	return out
+}
+
+// SweepHoursPartitioned evaluates the Fig. 2b hour sweep over pre-built
+// partitions; the per-sample VH cache is built once on the first threshold.
+func SweepHoursPartitioned(parts []*Partition, hs []float64, minSamples int) []SweepPoint {
+	out := make([]SweepPoint, len(hs))
+	for i, h := range hs {
+		congested, total := 0, 0
+		for _, p := range parts {
+			e, n := p.HourTally(h, minSamples)
+			congested += e
+			total += n
+		}
+		frac := 0.0
+		if total > 0 {
+			frac = float64(congested) / float64(total)
+		}
+		out[i] = SweepPoint{H: h, Fraction: frac}
+	}
+	obsSweepPoints.Add(uint64(len(hs)))
+	return out
+}

@@ -1,0 +1,212 @@
+package congestion
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// randomSeries exercises both partition build paths: time-sorted samples
+// (the grouped-campaign shape) and shuffled ones (the map fallback), with
+// occasional zero-throughput days and a short day that misses the
+// min-samples cut.
+func randomSeries(seed int64, days int, shuffled bool) Series {
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	s := Series{PairID: "part-test"}
+	for d := 0; d < days; d++ {
+		hours := 24
+		if d == days/2 {
+			hours = 2 // below the default min-samples threshold
+		}
+		for h := 0; h < hours; h++ {
+			v := 200 + 150*rng.Float64()
+			if d%5 == 3 {
+				v = 0 // dead day: Tmax <= 0
+			}
+			if h >= 19 && h <= 22 {
+				v *= 0.3
+			}
+			s.Samples = append(s.Samples, Sample{Time: start.AddDate(0, 0, d).Add(time.Duration(h) * time.Hour), Mbps: v})
+		}
+	}
+	if shuffled {
+		rng.Shuffle(len(s.Samples), func(i, j int) {
+			s.Samples[i], s.Samples[j] = s.Samples[j], s.Samples[i]
+		})
+	}
+	return s
+}
+
+// naiveSplitDays is the pre-partition implementation, the reference the
+// memoized decomposition must reproduce exactly.
+func naiveSplitDays(s Series, minSamples int) []Day {
+	if minSamples <= 0 {
+		minSamples = 4
+	}
+	byDay := make(map[int][]float64)
+	for _, smp := range s.Samples {
+		byDay[dayIndex(smp.Time)] = append(byDay[dayIndex(smp.Time)], smp.Mbps)
+	}
+	days := make([]int, 0, len(byDay))
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	var out []Day
+	for _, d := range days {
+		xs := byDay[d]
+		if len(xs) < minSamples {
+			continue
+		}
+		min, max := xs[0], xs[0]
+		for _, x := range xs[1:] {
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		v := 0.0
+		if max > 0 {
+			v = (max - min) / max
+		}
+		out = append(out, Day{PairID: s.PairID, Day: d, Tmax: max, Tmin: min, V: v, Samples: len(xs)})
+	}
+	return out
+}
+
+func TestPartitionDaysMatchesNaive(t *testing.T) {
+	for _, shuffled := range []bool{false, true} {
+		s := randomSeries(21, 14, shuffled)
+		for _, min := range []int{0, 1, 4, 10} {
+			got := SplitDays(s, min)
+			want := naiveSplitDays(s, min)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shuffled=%v min=%d: SplitDays diverged\n got %+v\nwant %+v", shuffled, min, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitionTalliesMatchFractions(t *testing.T) {
+	series := []Series{randomSeries(1, 10, false), randomSeries(2, 10, true), randomSeries(3, 3, false)}
+	for _, h := range []float64{0, 0.25, 0.5, 0.9} {
+		wantDays := FractionCongestedDays(series, h, 0)
+		wantHours := FractionCongestedHours(series, h, 0)
+		// Recompute from a shared partition set, as the sweeps do.
+		parts := Partitions(series)
+		d := SweepDaysPartitioned(parts, []float64{h}, 0)[0].Fraction
+		hr := SweepHoursPartitioned(parts, []float64{h}, 0)[0].Fraction
+		if d != wantDays {
+			t.Errorf("h=%v: day fraction %v != %v", h, d, wantDays)
+		}
+		if hr != wantHours {
+			t.Errorf("h=%v: hour fraction %v != %v", h, hr, wantHours)
+		}
+	}
+}
+
+func TestSweepsMatchPerThresholdFractions(t *testing.T) {
+	series := []Series{randomSeries(5, 12, false), randomSeries(6, 12, true)}
+	hs := []float64{0, 0.1, 0.3, 0.5, 0.7, 1}
+	daySweep := SweepDays(series, hs, 0)
+	hourSweep := SweepHours(series, hs, 0)
+	for i, h := range hs {
+		if want := FractionCongestedDays(series, h, 0); daySweep[i].Fraction != want {
+			t.Errorf("day sweep at %v: %v != %v", h, daySweep[i].Fraction, want)
+		}
+		if want := FractionCongestedHours(series, h, 0); hourSweep[i].Fraction != want {
+			t.Errorf("hour sweep at %v: %v != %v", h, hourSweep[i].Fraction, want)
+		}
+	}
+}
+
+func TestEventsInMatchesEvents(t *testing.T) {
+	for _, shuffled := range []bool{false, true} {
+		s := randomSeries(9, 10, shuffled)
+		det := NewDetector()
+		want := make([]Event, 0)
+		// Events via the one-shot path and via an explicit partition.
+		want = append(want, det.Events(s)...)
+		got := det.EventsIn(NewPartition(s))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("shuffled=%v: EventsIn diverged (%d vs %d events)", shuffled, len(got), len(want))
+		}
+	}
+}
+
+func TestHourTallyCountsDeadDayHours(t *testing.T) {
+	// A zero-peak day's samples are measured hours but never events.
+	start := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	s := Series{PairID: "dead"}
+	for h := 0; h < 24; h++ {
+		s.Samples = append(s.Samples, Sample{Time: start.Add(time.Duration(h) * time.Hour), Mbps: 0})
+	}
+	p := NewPartition(s)
+	events, hours := p.HourTally(0.5, 0)
+	if events != 0 || hours != 24 {
+		t.Errorf("dead day: events=%d hours=%d, want 0/24", events, hours)
+	}
+	if got := FractionCongestedHours([]Series{s}, 0.5, 0); got != 0 {
+		t.Errorf("dead-day fraction = %v", got)
+	}
+}
+
+func TestPartitionDayMedians(t *testing.T) {
+	s := randomSeries(33, 8, true)
+	p := NewPartition(s)
+	meds := p.DayMedians()
+	allDays := p.Days(1)
+	if len(meds) != len(allDays) {
+		t.Fatalf("medians = %d, days = %d", len(meds), len(allDays))
+	}
+	// Validate against a direct per-day median.
+	byDay := make(map[int][]float64)
+	for _, smp := range s.Samples {
+		byDay[dayIndex(smp.Time)] = append(byDay[dayIndex(smp.Time)], smp.Mbps)
+	}
+	for i, d := range allDays {
+		xs := byDay[d.Day]
+		sort.Float64s(xs)
+		var want float64
+		if n := len(xs); n%2 == 1 {
+			want = xs[n/2]
+		} else {
+			want = (xs[n/2-1] + xs[n/2]) / 2
+		}
+		if math.Abs(meds[i]-want) > 1e-12 {
+			t.Errorf("day %d: median %v, want %v", d.Day, meds[i], want)
+		}
+		if d.Tmin-1e-12 > meds[i] || meds[i] > d.Tmax+1e-12 {
+			t.Errorf("day %d: median %v outside [%v, %v]", d.Day, meds[i], d.Tmin, d.Tmax)
+		}
+	}
+	// Cached: second call returns the same slice.
+	if &meds[0] != &p.DayMedians()[0] {
+		t.Error("medians not cached")
+	}
+	// The VH cache is also built once per min-samples value.
+	_, h1 := p.HourTally(0.3, 0)
+	_, h2 := p.HourTally(0.8, 0)
+	if h1 != h2 {
+		t.Errorf("hour totals differ across thresholds: %d vs %d", h1, h2)
+	}
+}
+
+func TestPartitionEmptySeries(t *testing.T) {
+	p := NewPartition(Series{PairID: "empty"})
+	if days := p.Days(0); len(days) != 0 {
+		t.Errorf("empty series has %d days", len(days))
+	}
+	if e, h := p.HourTally(0.5, 0); e != 0 || h != 0 {
+		t.Errorf("empty tally: %d/%d", e, h)
+	}
+	if meds := p.DayMedians(); meds != nil {
+		t.Errorf("empty medians: %v", meds)
+	}
+}

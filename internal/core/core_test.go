@@ -88,7 +88,7 @@ func TestTopologyCampaignAndFigures(t *testing.T) {
 
 	// Fig 2: sweeps are monotone non-increasing and bracket the paper's
 	// observations loosely at H=0.25 vs H=0.5.
-	fig2 := Fig2(map[string]*CampaignResult{"us-west1": res}, nil)
+	fig2 := Fig2(map[string]*CampaignResult{"us-west1": res}, nil, 1)
 	if len(fig2) != 1 {
 		t.Fatalf("fig2 series = %d", len(fig2))
 	}
@@ -350,7 +350,7 @@ func TestFig2RegionalOrdering(t *testing.T) {
 		}
 		results[region] = res
 	}
-	sweeps := Fig2(results, []float64{0.5})
+	sweeps := Fig2(results, []float64{0.5}, 4)
 	frac := make(map[string]float64)
 	for _, s := range sweeps {
 		frac[s.Region] = s.Days[0].Fraction

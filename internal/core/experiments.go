@@ -122,7 +122,11 @@ func DefaultThresholdGrid() []float64 {
 
 // Fig2 computes the threshold sweeps from per-region campaign records
 // (download direction, premium tier — the ingress measurements of §3.3).
-func Fig2(results map[string]*CampaignResult, hs []float64) []Fig2Series {
+// Regions fan out across `parallelism` workers; each writes its sweep to
+// its own index in region-sorted order, so the output is identical to the
+// serial loop at any parallelism. Each region's series are partitioned
+// into days once and both sweeps reuse the cached partition.
+func Fig2(results map[string]*CampaignResult, hs []float64, parallelism int) []Fig2Series {
 	if hs == nil {
 		hs = DefaultThresholdGrid()
 	}
@@ -131,19 +135,21 @@ func Fig2(results map[string]*CampaignResult, hs []float64) []Fig2Series {
 		regions = append(regions, r)
 	}
 	sort.Strings(regions)
-	var out []Fig2Series
-	for _, region := range regions {
+	out := make([]Fig2Series, len(regions))
+	analysis.ParallelFor(parallelism, len(regions), func(i int) {
+		region := regions[i]
 		series := analysis.GroupSeries(results[region].Records, netsim.Download, bgp.Premium)
+		parts := congestion.Partitions(series)
 		s := Fig2Series{
 			Region: region,
-			Days:   congestion.SweepDays(series, hs, 0),
-			Hours:  congestion.SweepHours(series, hs, 0),
+			Days:   congestion.SweepDaysPartitioned(parts, hs, 0),
+			Hours:  congestion.SweepHoursPartitioned(parts, hs, 0),
 		}
 		if h, err := congestion.ElbowThreshold(s.Days); err == nil {
 			s.ElbowH = h
 		}
-		out = append(out, s)
-	}
+		out[i] = s
+	})
 	return out
 }
 
@@ -473,38 +479,63 @@ type Headlines struct {
 }
 
 // ComputeHeadlines derives the findings from topology-campaign results and
-// an optional differential campaign.
+// an optional differential campaign. Per-region analysis fans out across
+// Opts.Parallelism workers; every fold below is an integer tally summed in
+// region-sorted index order, so the headlines are identical at any
+// parallelism.
 func (c *CLASP) ComputeHeadlines(topoResults map[string]*CampaignResult, diff *CampaignResult) Headlines {
 	var h Headlines
-	var allSeries []congestion.Series
-	ispPairs, ispCongested := 0, 0
+	regions := make([]string, 0, len(topoResults))
+	for r := range topoResults {
+		regions = append(regions, r)
+	}
+	sort.Strings(regions)
+	type regionTally struct {
+		hourEvents, hourTotal    int
+		ispPairs, ispCongested   int
+		perfIn200600, perfPoints int
+	}
+	tallies := make([]regionTally, len(regions))
 	det := congestion.NewDetector()
-	var perf []analysis.PerfPoint
-	for _, res := range topoResults {
-		series := analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium)
-		for _, sw := range series {
-			allSeries = append(allSeries, sw.Series)
+	analysis.ParallelFor(c.Opts.Parallelism, len(regions), func(i int) {
+		res := topoResults[regions[i]]
+		t := &tallies[i]
+		for _, sw := range analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium) {
+			part := congestion.NewPartition(sw.Series)
+			ev, hrs := part.HourTally(det.H, det.MinSamples)
+			t.hourEvents += ev
+			t.hourTotal += hrs
 			if analysis.BusinessOf(c.Topo, sw.ServerID) == topology.BizISP {
-				ispPairs++
+				t.ispPairs++
 				if congestion.CongestedPair(sw.Series, det, 0.1) {
-					ispCongested++
+					t.ispCongested++
 				}
 			}
 		}
-		perf = append(perf, analysis.PerfPoints(res.Records)...)
-	}
-	h.CongestedHourFrac = congestion.FractionCongestedHours(allSeries, congestion.DefaultThreshold, 0)
-	if ispPairs > 0 {
-		h.CongestedISPFrac = float64(ispCongested) / float64(ispPairs)
-	}
-	in := 0
-	for _, p := range perf {
-		if p.P95Down >= 200 && p.P95Down <= 600 {
-			in++
+		for _, p := range analysis.PerfPoints(res.Records) {
+			t.perfPoints++
+			if p.P95Down >= 200 && p.P95Down <= 600 {
+				t.perfIn200600++
+			}
 		}
+	})
+	var sum regionTally
+	for i := range tallies {
+		sum.hourEvents += tallies[i].hourEvents
+		sum.hourTotal += tallies[i].hourTotal
+		sum.ispPairs += tallies[i].ispPairs
+		sum.ispCongested += tallies[i].ispCongested
+		sum.perfIn200600 += tallies[i].perfIn200600
+		sum.perfPoints += tallies[i].perfPoints
 	}
-	if len(perf) > 0 {
-		h.P95DownIn200600 = float64(in) / float64(len(perf))
+	if sum.hourTotal > 0 {
+		h.CongestedHourFrac = float64(sum.hourEvents) / float64(sum.hourTotal)
+	}
+	if sum.ispPairs > 0 {
+		h.CongestedISPFrac = float64(sum.ispCongested) / float64(sum.ispPairs)
+	}
+	if sum.perfPoints > 0 {
+		h.P95DownIn200600 = float64(sum.perfIn200600) / float64(sum.perfPoints)
 	}
 	if diff != nil {
 		deltas := analysis.TierDeltas(diff.Records, diff.Region, analysis.MetricDownload)

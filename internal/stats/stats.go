@@ -49,6 +49,155 @@ func PercentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// PercentilesSorted returns the ps-th percentiles of an already-sorted
+// sample, one output per requested p — the sort-once companion of
+// Percentile for callers that need several percentiles of the same sample
+// (or own the buffer and can sort it in place). Behaviour is undefined for
+// unsorted input.
+func PercentilesSorted(sorted []float64, ps ...float64) ([]float64, error) {
+	if len(sorted) == 0 {
+		return nil, ErrEmpty
+	}
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p < 0 || p > 100 {
+			return nil, errors.New("stats: percentile out of range [0,100]")
+		}
+		out[i] = PercentileSorted(sorted, p)
+	}
+	return out, nil
+}
+
+// PercentileInPlace returns the same value as Percentile but finds the two
+// bracketing order statistics with quickselect instead of fully sorting —
+// O(n) rather than O(n log n). It partially reorders xs (no copy): on
+// return the selected rank k satisfies xs[:k] <= xs[k] <= xs[k+1:] under
+// the same ordering sort.Float64s uses, so results agree bit-for-bit with
+// the sorting implementations.
+func PercentileInPlace(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range [0,100]")
+	}
+	n := len(xs)
+	if n == 1 {
+		return xs[0], nil
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	xlo := selectKth(xs, lo)
+	if lo == hi {
+		return xlo, nil
+	}
+	// selectKth leaves xs[lo+1:] >= xs[lo]; the next order statistic is
+	// that suffix's minimum.
+	xhi := xs[lo+1]
+	for _, v := range xs[lo+2:] {
+		if fless(v, xhi) {
+			xhi = v
+		}
+	}
+	frac := rank - float64(lo)
+	return xlo*(1-frac) + xhi*frac, nil
+}
+
+// fless is sort.Float64s's ordering — ascending with NaNs first — so
+// selection and sorting agree on every input, not just NaN-free ones.
+func fless(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// selectKth moves the k-th smallest element of xs (under fless) to xs[k],
+// with smaller elements to its left and larger ones to its right, and
+// returns it. Deterministic median-of-three Hoare quickselect; small
+// windows finish with an insertion sort.
+func selectKth(xs []float64, k int) float64 {
+	lo, hi := 0, len(xs)-1
+	for hi-lo > 12 {
+		mid := lo + (hi-lo)/2
+		if fless(xs[mid], xs[lo]) {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if fless(xs[hi], xs[lo]) {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if fless(xs[hi], xs[mid]) {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for fless(xs[i], pivot) {
+				i++
+			}
+			for fless(pivot, xs[j]) {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k] // the i/j gap holds only pivot-equal elements
+		}
+	}
+	for a := lo + 1; a <= hi; a++ {
+		for b := a; b > lo && fless(xs[b], xs[b-1]); b-- {
+			xs[b], xs[b-1] = xs[b-1], xs[b]
+		}
+	}
+	return xs[k]
+}
+
+// Summary describes a sample with one sort: size, mean, extremes, and the
+// percentiles the paper's figures lean on.
+type Summary struct {
+	N                      int
+	Mean, Min, Max         float64
+	P5, P25, P50, P75, P95 float64
+}
+
+// Describe computes a Summary, copying and sorting the input once.
+func Describe(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return DescribeSorted(s), nil
+}
+
+// DescribeSorted computes a Summary from an already-sorted sample without
+// allocating. Panics on empty input.
+func DescribeSorted(sorted []float64) Summary {
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	return Summary{
+		N:    len(sorted),
+		Mean: sum / float64(len(sorted)),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P5:   PercentileSorted(sorted, 5),
+		P25:  PercentileSorted(sorted, 25),
+		P50:  PercentileSorted(sorted, 50),
+		P75:  PercentileSorted(sorted, 75),
+		P95:  PercentileSorted(sorted, 95),
+	}
+}
+
 // Median returns the 50th percentile of xs.
 func Median(xs []float64) (float64, error) { return Percentile(xs, 50) }
 

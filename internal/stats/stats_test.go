@@ -364,3 +364,128 @@ func TestWelfordBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestPercentilesSortedMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ps := []float64{0, 5, 50, 95, 100}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		got, err := PercentilesSorted(sorted, ps...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range ps {
+			want, err := Percentile(xs, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[i] != want {
+				t.Fatalf("trial %d n=%d p=%v: PercentilesSorted=%v Percentile=%v", trial, n, p, got[i], want)
+			}
+		}
+		// A random p too, not just the paper's grid.
+		p := rng.Float64() * 100
+		one, err := PercentilesSorted(sorted, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, _ := Percentile(xs, p); one[0] != want {
+			t.Fatalf("trial %d p=%v: %v != %v", trial, p, one[0], want)
+		}
+	}
+}
+
+func TestPercentilesSortedErrors(t *testing.T) {
+	if _, err := PercentilesSorted(nil, 50); err != ErrEmpty {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := PercentilesSorted([]float64{1}, -1); err == nil {
+		t.Error("p < 0 accepted")
+	}
+	if _, err := PercentilesSorted([]float64{1}, 101); err == nil {
+		t.Error("p > 100 accepted")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s, err := Describe(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	for _, pair := range [][2]float64{{s.P5, s.P25}, {s.P25, s.P50}, {s.P50, s.P75}, {s.P75, s.P95}} {
+		if pair[0] > pair[1] {
+			t.Errorf("percentiles not monotone: %+v", s)
+		}
+	}
+	if xs[0] != 5 {
+		t.Error("Describe mutated its input")
+	}
+	if _, err := Describe(nil); err != ErrEmpty {
+		t.Errorf("empty: err = %v", err)
+	}
+}
+
+func TestPercentileInPlaceMatchesPercentile(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	ps := []float64{0, 5, 25, 50, 75, 95, 100}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			if trial%3 == 0 {
+				// Quantized values force ties through the selection paths.
+				xs[i] = float64(rng.Intn(8))
+			} else {
+				xs[i] = rng.NormFloat64() * 100
+			}
+		}
+		p := ps[trial%len(ps)]
+		if trial%7 == 0 {
+			p = rng.Float64() * 100
+		}
+		want, err := Percentile(xs, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := append([]float64(nil), xs...)
+		got, err := PercentileInPlace(work, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d, p=%v): in-place %v != sorted %v", trial, n, p, got, want)
+		}
+		// Selection only permutes: same multiset afterwards.
+		sort.Float64s(work)
+		ref := append([]float64(nil), xs...)
+		sort.Float64s(ref)
+		for i := range ref {
+			if work[i] != ref[i] {
+				t.Fatalf("trial %d: element multiset changed at %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestPercentileInPlaceErrors(t *testing.T) {
+	if _, err := PercentileInPlace(nil, 50); err != ErrEmpty {
+		t.Errorf("empty: err = %v", err)
+	}
+	if _, err := PercentileInPlace([]float64{1, 2}, 101); err == nil {
+		t.Error("p=101: no error")
+	}
+	if _, err := PercentileInPlace([]float64{1, 2}, -1); err == nil {
+		t.Error("p=-1: no error")
+	}
+}

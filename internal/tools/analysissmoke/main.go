@@ -1,0 +1,66 @@
+// Command analysissmoke is the CI gate for the parallel analysis engine's
+// determinism contract: it runs the same campaign and congestion report at
+// parallelism 1 and 4 and fails unless the rendered reports are
+// byte-identical (the engine's index-ordered merge invariant). On success
+// it prints a one-line distribution summary of the per-pair event counts.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+
+	clasp "github.com/clasp-measurement/clasp"
+	"github.com/clasp-measurement/clasp/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "analysissmoke: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		region = "us-west1"
+		days   = 7
+	)
+	reports := make(map[int]string, 2)
+	var pairs int
+	var events []float64
+	for _, par := range []int{1, 4} {
+		p, err := clasp.New(clasp.Options{Seed: 1, Scale: 0.12, Parallelism: par})
+		if err != nil {
+			return fmt.Errorf("platform (parallelism %d): %w", par, err)
+		}
+		res, err := p.RunTopologyCampaign(region, days)
+		if err != nil {
+			return fmt.Errorf("campaign (parallelism %d): %w", par, err)
+		}
+		rep, err := p.CongestionReport(res)
+		if err != nil {
+			return fmt.Errorf("report (parallelism %d): %w", par, err)
+		}
+		var buf bytes.Buffer
+		clasp.WriteReport(&buf, rep)
+		reports[par] = buf.String()
+		pairs = len(rep.Pairs)
+		if par == 1 {
+			for _, pr := range rep.Pairs {
+				events = append(events, float64(pr.Events))
+			}
+		}
+	}
+	if reports[1] != reports[4] {
+		fmt.Fprintf(os.Stderr, "--- parallelism 1 ---\n%s\n--- parallelism 4 ---\n%s\n", reports[1], reports[4])
+		return fmt.Errorf("reports differ between parallelism 1 and 4")
+	}
+	sum, err := stats.Describe(events)
+	if err != nil {
+		return fmt.Errorf("no pairs in report: %w", err)
+	}
+	fmt.Printf("analysissmoke: OK — %d pairs, events/pair mean=%.1f p50=%.0f p95=%.0f max=%.0f; %d-byte report identical at parallelism 1 and 4\n",
+		pairs, sum.Mean, sum.P50, sum.P95, sum.Max, len(reports[1]))
+	return nil
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/obs"
+	"github.com/clasp-measurement/clasp/internal/stats"
 )
 
 // Ingest telemetry (see DESIGN.md §8): per-shard insert counts expose the
@@ -332,12 +333,18 @@ func FieldValues(series []Series, field string) []float64 {
 	return out
 }
 
-// Aggregator reduces a bucket of values to one value.
+// Aggregator reduces a bucket of values to one value. GroupByTime only
+// invokes aggregators with non-empty buckets; the built-ins additionally
+// guard the empty case for direct callers, returning 0 rather than NaN
+// (AggMean's old behaviour) or panicking (AggMax/AggMin/AggPercentile).
 type Aggregator func([]float64) float64
 
 // Built-in aggregators.
 var (
 	AggMean Aggregator = func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
 		s := 0.0
 		for _, x := range xs {
 			s += x
@@ -345,6 +352,9 @@ var (
 		return s / float64(len(xs))
 	}
 	AggMax Aggregator = func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
 		m := xs[0]
 		for _, x := range xs[1:] {
 			if x > m {
@@ -354,6 +364,9 @@ var (
 		return m
 	}
 	AggMin Aggregator = func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
 		m := xs[0]
 		for _, x := range xs[1:] {
 			if x < m {
@@ -364,8 +377,13 @@ var (
 	}
 )
 
+// aggScratch pools the sort buffer behind AggPercentile so per-bucket
+// rollups stop allocating once the pool is warm.
+var aggScratch = sync.Pool{New: func() any { b := make([]float64, 0, 64); return &b }}
+
 // AggPercentile returns an aggregator for the p-th percentile (0-100),
 // linearly interpolated — the rollup behind the paper's p95/p5 plots.
+// Returns 0 on an empty bucket (see Aggregator).
 func AggPercentile(p float64) Aggregator {
 	if p < 0 {
 		p = 0
@@ -374,19 +392,25 @@ func AggPercentile(p float64) Aggregator {
 		p = 100
 	}
 	return func(xs []float64) float64 {
-		s := make([]float64, len(xs))
-		copy(s, xs)
-		sort.Float64s(s)
-		if len(s) == 1 {
-			return s[0]
+		if len(xs) == 0 {
+			return 0
 		}
-		rank := p / 100 * float64(len(s)-1)
-		lo := int(rank)
-		frac := rank - float64(lo)
-		if lo+1 >= len(s) {
-			return s[len(s)-1]
+		// Selection, not a sort: rollup buckets are small and only the two
+		// bracketing order statistics matter. Typical buckets (hourly
+		// rollups) fit the stack buffer; larger ones borrow pooled scratch.
+		var a [32]float64
+		if len(xs) <= len(a) {
+			t := a[:len(xs)]
+			copy(t, xs)
+			v, _ := stats.PercentileInPlace(t, p)
+			return v
 		}
-		return s[lo]*(1-frac) + s[lo+1]*frac
+		bp := aggScratch.Get().(*[]float64)
+		s := append((*bp)[:0], xs...)
+		v, _ := stats.PercentileInPlace(s, p)
+		*bp = s
+		aggScratch.Put(bp)
+		return v
 	}
 }
 
@@ -398,7 +422,8 @@ type Bucket struct {
 }
 
 // GroupByTime buckets one series' field by window and aggregates each
-// bucket. Buckets align to the Unix epoch.
+// bucket. Buckets align to the Unix epoch. Empty buckets are never
+// materialised, so agg is always called with at least one value.
 func GroupByTime(sr Series, field string, window time.Duration, agg Aggregator) []Bucket {
 	if window <= 0 || agg == nil {
 		return nil

@@ -314,3 +314,37 @@ func TestGroupByTimeWithPercentile(t *testing.T) {
 		t.Errorf("hourly p95 = %v", buckets[0].Value)
 	}
 }
+
+func TestAggregatorsEmptyInput(t *testing.T) {
+	// Direct callers may hand aggregators an empty bucket; the built-ins
+	// return 0 instead of NaN (AggMean) or panicking (the others).
+	for name, agg := range map[string]Aggregator{
+		"mean": AggMean, "max": AggMax, "min": AggMin, "p95": AggPercentile(95),
+	} {
+		if v := agg(nil); v != 0 {
+			t.Errorf("%s(nil) = %v, want 0", name, v)
+		}
+		if v := agg([]float64{}); v != 0 {
+			t.Errorf("%s(empty) = %v, want 0", name, v)
+		}
+	}
+}
+
+func TestAggPercentileScratchReuse(t *testing.T) {
+	// The pooled scratch buffer must not leak state between calls or
+	// mutate the caller's slice.
+	agg := AggPercentile(50)
+	xs := []float64{3, 1, 2}
+	if v := agg(xs); v != 2 {
+		t.Fatalf("median = %v", v)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+	if v := agg([]float64{10, 30}); v != 20 {
+		t.Errorf("second call = %v (scratch leaked?)", v)
+	}
+	if v := agg([]float64{5}); v != 5 {
+		t.Errorf("shrinking call = %v", v)
+	}
+}
