@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke bench-check ci
+.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke bench-check ci
 
 build:
 	$(GO) build ./...
@@ -85,6 +85,13 @@ analysis-smoke:
 fault-smoke:
 	$(GO) run ./internal/tools/faultsmoke
 
+# scenario-smoke runs the catalog's small-smoke scenario solo and inside a
+# two-scenario fleet and fails unless both outputs are byte-identical to
+# the committed golden under examples/scenarios/ — the declarative-layer
+# regression gate.
+scenario-smoke:
+	$(GO) run ./internal/tools/scenariosmoke
+
 # bench-check re-runs the recorded benchmarks and compares them against
 # the committed BENCH_*.json records: more than +25% ns/op or any rise in
 # allocs/op fails the build (timings get machine-noise slack; allocation
@@ -102,7 +109,7 @@ bench-check:
 
 # ci is the gate for every change: formatting, tier-1 build + tests,
 # static checks, the full suite under the race detector, a benchmark
-# smoke run, the observability, fault-injection and analysis-determinism
-# smoke gates, and the benchmark regression check against the committed
-# BENCH_*.json records.
-ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke bench-check
+# smoke run, the observability, fault-injection, analysis-determinism and
+# scenario-golden smoke gates, and the benchmark regression check against
+# the committed BENCH_*.json records.
+ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke bench-check

@@ -57,13 +57,21 @@ type Options struct {
 	// the same seed (the engine's determinism guarantee).
 	Parallelism int
 	// FaultProfile names a canned fault-injection profile ("none",
-	// "flaky-vm", "congested-server") that every campaign runs under.
-	// Empty or "none" disables injection — results stay bit-identical to
-	// a fault-free platform. Active profiles inject deterministic VM and
-	// measurement failures; the orchestrator retries, degrades and
-	// accounts for them (see the Report's resilience counters), and two
-	// runs with the same Seed fail in exactly the same places.
+	// "flaky-vm", "congested-server", "outage") that every campaign runs
+	// under. Empty or "none" disables injection — results stay
+	// bit-identical to a fault-free platform. Active profiles inject
+	// deterministic VM and measurement failures; the orchestrator retries,
+	// degrades and accounts for them (see the Report's resilience
+	// counters), and two runs with the same Seed fail in exactly the same
+	// places.
 	FaultProfile string
+	// CaptureEvery uploads a packet capture plus SoMeta metadata for every
+	// Nth download test (0 disables). TracerouteEvery runs follow-up
+	// traceroutes per server every N campaign days (0 disables). Neither
+	// feeds back into measurements, so results are bit-identical at any
+	// setting.
+	CaptureEvery    int
+	TracerouteEvery int
 }
 
 // Platform is a fully wired CLASP instance over the simulated Internet and
@@ -82,16 +90,23 @@ func New(opts Options) (*Platform, error) {
 		scale = 0.25
 	}
 	eng, err := core.New(core.Options{
-		Seed:         opts.Seed,
-		Scale:        scale,
-		Parallelism:  opts.Parallelism,
-		FaultProfile: opts.FaultProfile,
+		Seed:            opts.Seed,
+		Scale:           scale,
+		Parallelism:     opts.Parallelism,
+		FaultProfile:    opts.FaultProfile,
+		CaptureEvery:    opts.CaptureEvery,
+		TracerouteEvery: opts.TracerouteEvery,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("clasp: %w", err)
 	}
 	return &Platform{engine: eng}, nil
 }
+
+// NewFromCore wraps an already-built engine in a Platform. The scenario
+// runner uses it to construct engines with a shared substrate (see
+// core.Options.Substrate); the platform takes ownership of the engine.
+func NewFromCore(eng *core.CLASP) *Platform { return &Platform{engine: eng} }
 
 // Engine exposes the underlying engine for advanced use (experiment
 // generators, raw topology access). The returned value is owned by the

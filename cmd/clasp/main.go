@@ -12,8 +12,14 @@
 //	                                  congestion report
 //	clasp costs [flags]               show the simulated cloud bill after a
 //	                                  one-week all-region campaign
+//	clasp run <scenario.json>         run one declarative scenario spec
+//	                                  (see examples/scenarios/)
+//	clasp fleet <dir>                 run every scenario spec in a directory
+//	                                  concurrently over one shared topology;
+//	                                  output is byte-identical to running
+//	                                  each scenario alone
 //
-// Flags:
+// Flags (ignored by run/fleet, which read everything from the spec):
 //
 //	-seed N         simulation seed (default 1)
 //	-scale F        topology scale, 1.0 = paper scale (default 0.25)
@@ -23,9 +29,10 @@
 //	-parallelism N  concurrent VM workers per campaign round and analysis
 //	                workers per report (default 1; campaigns and reports
 //	                are identical at any value for the same seed)
-//	-fault-profile P  fault-injection profile: none (default), flaky-vm, or
-//	                congested-server; campaigns retry, degrade and account
-//	                for the injected failures deterministically per seed
+//	-fault-profile P  fault-injection profile: none (default), flaky-vm,
+//	                congested-server, or outage; campaigns retry, degrade and
+//	                account for the injected failures deterministically per
+//	                seed
 //	-metrics-out F  enable metrics; write a Prometheus text dump to F and a
 //	                JSON snapshot to F.json when the command finishes
 //	-tracelog F     enable tracing; append span events as JSON lines to F
@@ -43,11 +50,10 @@ import (
 	"runtime/pprof"
 	"strings"
 
-	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/core"
 	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/obs"
-	"github.com/clasp-measurement/clasp/internal/selection"
+	"github.com/clasp-measurement/clasp/internal/scenario"
 
 	clasp "github.com/clasp-measurement/clasp"
 )
@@ -61,7 +67,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: clasp <report|select|campaign|costs> ... (see -h)")
+		return fmt.Errorf("usage: clasp <report|select|campaign|costs|run|fleet> ... (see -h)")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -139,19 +145,26 @@ func run(args []string) error {
 		}()
 	}
 
-	p, err := clasp.New(clasp.Options{
-		Seed:         *seed,
-		Scale:        *scale,
-		Parallelism:  *parallelism,
-		FaultProfile: *faultProfile,
-	})
-	if err != nil {
-		return err
-	}
-	eng := p.Engine()
 	out := os.Stdout
 
-	cmdErr := dispatch(cmd, positional, p, eng, out, *days, minSamples)
+	// Scenario commands build their own platforms from the spec; the flag
+	// set above configures only the classic subcommands.
+	var cmdErr error
+	switch cmd {
+	case "run", "fleet":
+		cmdErr = scenarioCmd(cmd, positional, out)
+	default:
+		p, err := clasp.New(clasp.Options{
+			Seed:         *seed,
+			Scale:        *scale,
+			Parallelism:  *parallelism,
+			FaultProfile: *faultProfile,
+		})
+		if err != nil {
+			return err
+		}
+		cmdErr = dispatch(cmd, positional, p, p.Engine(), out, *days, minSamples)
+	}
 	if *metricsOut != "" {
 		if err := writeMetricsDump(*metricsOut); err != nil {
 			if cmdErr != nil {
@@ -163,7 +176,23 @@ func run(args []string) error {
 	return cmdErr
 }
 
-// dispatch runs one subcommand against an initialised platform.
+// scenarioCmd runs the declarative-scenario subcommands.
+func scenarioCmd(cmd string, positional []string, out *os.File) error {
+	if len(positional) != 1 {
+		return fmt.Errorf("usage: clasp %s <%s>", cmd, map[string]string{"run": "scenario.json", "fleet": "dir"}[cmd])
+	}
+	r := scenario.NewRunner()
+	if cmd == "fleet" {
+		return r.FleetDir(out, positional[0])
+	}
+	spec, err := scenario.LoadFile(positional[0])
+	if err != nil {
+		return err
+	}
+	return r.Run(out, spec)
+}
+
+// dispatch runs one classic subcommand against an initialised platform.
 func dispatch(cmd string, positional []string, p *clasp.Platform, eng *core.CLASP, out *os.File, days, minSamples int) error {
 	switch cmd {
 	case "select":
@@ -225,7 +254,7 @@ func dispatch(cmd string, positional []string, p *clasp.Platform, eng *core.CLAS
 		if len(positional) != 1 {
 			return fmt.Errorf("usage: clasp report <table1|fig2|...|all>")
 		}
-		return report(out, p, newCampaignCache(), positional[0], days, minSamples)
+		return scenario.RenderArtifact(out, p, scenario.NewArtifactCache(), positional[0], days, minSamples)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
@@ -248,200 +277,6 @@ func writeMetricsDump(path string) error {
 	}
 	if err := os.WriteFile(path+".json", append(js, '\n'), 0o644); err != nil {
 		return fmt.Errorf("metrics-out: %w", err)
-	}
-	return nil
-}
-
-// campaignCache shares campaign results across the artifacts of one
-// `report all` invocation so each region is measured exactly once.
-type campaignCache struct {
-	topo    map[string]*core.CampaignResult
-	topoSel map[string]*selection.TopoResult
-	diff    map[string]*core.CampaignResult
-	diffSel map[string][]selection.DiffSelected
-}
-
-func newCampaignCache() *campaignCache {
-	return &campaignCache{
-		topo:    make(map[string]*core.CampaignResult),
-		topoSel: make(map[string]*selection.TopoResult),
-		diff:    make(map[string]*core.CampaignResult),
-		diffSel: make(map[string][]selection.DiffSelected),
-	}
-}
-
-func (c *campaignCache) topology(eng *core.CLASP, region string, days int) (*core.CampaignResult, *selection.TopoResult, error) {
-	if res, ok := c.topo[region]; ok {
-		return res, c.topoSel[region], nil
-	}
-	res, sel, err := eng.RunTopologyCampaign(region, days)
-	if err != nil {
-		return nil, nil, err
-	}
-	c.topo[region] = res
-	c.topoSel[region] = sel
-	return res, sel, nil
-}
-
-func (c *campaignCache) differential(eng *core.CLASP, region string, days, minSamples int) (*core.CampaignResult, []selection.DiffSelected, error) {
-	if res, ok := c.diff[region]; ok {
-		return res, c.diffSel[region], nil
-	}
-	res, sel, err := eng.RunDifferentialCampaign(region, days, minSamples)
-	if err != nil {
-		return nil, nil, err
-	}
-	c.diff[region] = res
-	c.diffSel[region] = sel
-	return res, sel, nil
-}
-
-// report regenerates one (or all) paper artifacts.
-func report(out *os.File, p *clasp.Platform, cache *campaignCache, artifact string, days, minSamples int) error {
-	eng := p.Engine()
-
-	topoCampaigns := func(regions []string) (map[string]*core.CampaignResult, error) {
-		results := make(map[string]*core.CampaignResult)
-		for _, r := range regions {
-			res, _, err := cache.topology(eng, r, days)
-			if err != nil {
-				return nil, err
-			}
-			results[r] = res
-		}
-		return results, nil
-	}
-
-	switch artifact {
-	case "table1":
-		rows, err := eng.Table1(core.Table1Regions)
-		if err != nil {
-			return err
-		}
-		core.WriteTable1(out, rows)
-
-	case "fig2":
-		results, err := topoCampaigns(core.TopologyRegions)
-		if err != nil {
-			return err
-		}
-		core.WriteFig2(out, core.Fig2(results, nil, p.Engine().Opts.Parallelism))
-
-	case "fig3":
-		res, _, err := cache.topology(eng, "us-west1", days)
-		if err != nil {
-			return err
-		}
-		d, err := eng.Fig3(res)
-		if err != nil {
-			return err
-		}
-		core.WriteFig3(out, d)
-
-	case "fig4a":
-		results, err := topoCampaigns(core.Table1Regions)
-		if err != nil {
-			return err
-		}
-		for _, r := range core.Table1Regions {
-			d, err := core.Fig4(results[r], bgp.Premium)
-			if err != nil {
-				return err
-			}
-			core.WriteFig4(out, d)
-		}
-
-	case "fig4b", "fig4c":
-		tier := bgp.Premium
-		if artifact == "fig4c" {
-			tier = bgp.Standard
-		}
-		for _, r := range core.DifferentialRegions {
-			res, _, err := cache.differential(eng, r, days, minSamples)
-			if err != nil {
-				return err
-			}
-			d, err := core.Fig4(res, tier)
-			if err != nil {
-				return err
-			}
-			core.WriteFig4(out, d)
-		}
-
-	case "fig5":
-		res, sel, err := cache.differential(eng, "europe-west1", days, minSamples)
-		if err != nil {
-			return err
-		}
-		s, err := core.Fig5(res, sel)
-		if err != nil {
-			return err
-		}
-		core.WriteFig5(out, s)
-
-	case "fig6a", "fig6b":
-		region := "us-east1"
-		if artifact == "fig6b" {
-			region = "us-west1"
-		}
-		res, _, err := cache.topology(eng, region, days)
-		if err != nil {
-			return err
-		}
-		core.WriteFig6(out, region, eng.Fig6(res, bgp.Premium, 10))
-
-	case "fig6c":
-		res, _, err := cache.differential(eng, "europe-west1", days, minSamples)
-		if err != nil {
-			return err
-		}
-		core.WriteFig6(out, "europe-west1 premium", eng.Fig6(res, bgp.Premium, 6))
-		core.WriteFig6(out, "europe-west1 standard", eng.Fig6(res, bgp.Standard, 6))
-
-	case "fig7":
-		for _, region := range core.Table1Regions {
-			_, sel, err := cache.topology(eng, region, days)
-			if err != nil {
-				return err
-			}
-			core.WriteFig7(out, eng.Fig7(region, sel, nil))
-		}
-		diff, _, err := eng.SelectDifferentialServers("europe-west1", minSamples)
-		if err != nil {
-			return err
-		}
-		core.WriteFig7(out, eng.Fig7("europe-west1", nil, diff))
-
-	case "fig8":
-		results, err := topoCampaigns(core.Table1Regions)
-		if err != nil {
-			return err
-		}
-		for _, r := range core.Table1Regions {
-			core.WriteFig8(out, r, eng.Fig8(results[r], bgp.Premium))
-		}
-
-	case "headlines":
-		results, err := topoCampaigns(core.TopologyRegions)
-		if err != nil {
-			return err
-		}
-		diff, _, err := cache.differential(eng, "europe-west1", days, minSamples)
-		if err != nil {
-			return err
-		}
-		core.WriteHeadlines(out, eng.ComputeHeadlines(results, diff))
-
-	case "all":
-		for _, a := range []string{"table1", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "headlines"} {
-			core.Separator(out, a)
-			if err := report(out, p, cache, a, days, minSamples); err != nil {
-				return fmt.Errorf("%s: %w", a, err)
-			}
-		}
-
-	default:
-		return fmt.Errorf("unknown artifact %q", artifact)
 	}
 	return nil
 }

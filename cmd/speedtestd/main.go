@@ -24,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -64,7 +65,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("speedtestd: %v", err)
 	}
-	defer srv.Close()
 	log.Printf("ookla protocol on %s", srv.Addr())
 
 	ln, err := net.Listen("tcp", *httpAddr)
@@ -119,7 +119,22 @@ func main() {
 	log.Printf("shutting down (waiting up to %s for in-flight tests)", shutdownTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(sctx); err != nil {
-		log.Printf("speedtestd: forced shutdown: %v", err)
-	}
+	// Both listeners drain symmetrically under the same deadline: the HTTP
+	// side (ndt7/xfinity) and the Ookla TCP server each stop accepting and
+	// let in-flight tests finish before remaining connections are severed.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("speedtestd: forced http shutdown: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := srv.Shutdown(sctx); err != nil {
+			log.Printf("speedtestd: forced ookla shutdown: %v", err)
+		}
+	}()
+	wg.Wait()
 }

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"reflect"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/alias"
@@ -72,6 +73,41 @@ type Options struct {
 	// keep them deterministic per Seed. All campaigns of one instance share
 	// the profile, so the platform-level injector is consistent.
 	FaultProfile string
+	// CaptureEvery uploads a packet capture plus SoMeta records for every
+	// Nth download test of each campaign (0 disables; captures are the
+	// heaviest artifact). Captures never feed back into measurements, so
+	// results are bit-identical at any setting.
+	CaptureEvery int
+	// TracerouteEvery runs follow-up traceroutes per server every N
+	// campaign days (0 disables).
+	TracerouteEvery int
+	// Substrate injects a pre-built topology and router instead of
+	// generating them — the fleet path, where concurrent engines share one
+	// warmed substrate. The substrate's topology config must match what
+	// these options would generate (same Seed and Scale); New enforces
+	// this, because a mismatched substrate would silently change results.
+	Substrate *Substrate
+}
+
+// Substrate is the immutable, shareable half of an engine: the generated
+// topology and its BGP router. Both are pure functions of the topology
+// config and safe for concurrent use (the router's tree caches fill
+// concurrently and deterministically), so any number of engines — and the
+// campaigns running on them — can share one substrate with bit-identical
+// results. Everything stateful (cloud control plane, cost meters, tsdb
+// store, flow caches) stays per-engine.
+type Substrate struct {
+	Topo   *topology.Topology
+	Router *bgp.Router
+}
+
+// NewSubstrate generates the shared substrate for a topology config.
+func NewSubstrate(cfg topology.Config) (*Substrate, error) {
+	topo, err := topology.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: building topology: %w", err)
+	}
+	return &Substrate{Topo: topo, Router: bgp.NewRouter(topo)}, nil
 }
 
 // CLASP is a fully wired platform instance.
@@ -103,11 +139,22 @@ func New(opts Options) (*CLASP, error) {
 		tcfg.Scale = opts.Scale
 	}
 	tcfg.Seed = opts.Seed
-	topo, err := topology.New(tcfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: building topology: %w", err)
+	var topo *topology.Topology
+	var router *bgp.Router
+	if opts.Substrate != nil {
+		if !reflect.DeepEqual(opts.Substrate.Topo.Cfg, tcfg) {
+			return nil, fmt.Errorf("core: substrate topology config does not match options (substrate seed %d scale %v, options seed %d scale %v)",
+				opts.Substrate.Topo.Cfg.Seed, opts.Substrate.Topo.Cfg.Scale, tcfg.Seed, tcfg.Scale)
+		}
+		topo, router = opts.Substrate.Topo, opts.Substrate.Router
+	} else {
+		var err error
+		topo, err = topology.New(tcfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: building topology: %w", err)
+		}
+		router = bgp.NewRouter(topo)
 	}
-	router := bgp.NewRouter(topo)
 	scfg := netsim.DefaultConfig(opts.Seed)
 	if opts.SimConfig != nil {
 		scfg = *opts.SimConfig
@@ -239,14 +286,16 @@ func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []b
 		sinks = append(sinks, &orchestrator.StoreSink{Store: c.Store})
 	}
 	rep, err := orch.Run(orchestrator.Config{
-		Region:      region,
-		Servers:     servers,
-		Tiers:       tiers,
-		Start:       CampaignStart,
-		Days:        days,
-		Seed:        c.Opts.Seed,
-		Parallelism: c.Opts.Parallelism,
-		Faults:      prof,
+		Region:          region,
+		Servers:         servers,
+		Tiers:           tiers,
+		Start:           CampaignStart,
+		Days:            days,
+		Seed:            c.Opts.Seed,
+		Parallelism:     c.Opts.Parallelism,
+		CaptureEvery:    c.Opts.CaptureEvery,
+		TracerouteEvery: c.Opts.TracerouteEvery,
+		Faults:          prof,
 	}, sinks)
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign in %s: %w", region, err)

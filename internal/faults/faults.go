@@ -185,6 +185,23 @@ var profiles = map[string]Profile{
 		BreakerMinSamples: 20,
 		BreakerCooldown:   1,
 	},
+	// outage models a regional failure event: most (server, hour) windows
+	// unreachable with frequent transient errors on what remains — the
+	// scenario the round-granular circuit breaker exists for. Whole rounds
+	// are shed while the outage persists and the cooldown probes recovery.
+	"outage": {
+		Name:              "outage",
+		ServerUnavailProb: 0.55,
+		TransientErrProb:  0.20,
+		HangProb:          0.01,
+		TestTimeout:       25 * time.Millisecond,
+		MaxRetries:        2,
+		BackoffBase:       time.Millisecond,
+		BackoffCap:        4 * time.Millisecond,
+		BreakerFailFrac:   0.35,
+		BreakerMinSamples: 10,
+		BreakerCooldown:   2,
+	},
 	// congested-server models an unhealthy server population: hour-long
 	// unavailability windows, frequent transient failures and slow tests.
 	"congested-server": {

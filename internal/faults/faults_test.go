@@ -48,8 +48,8 @@ func TestNamedProfiles(t *testing.T) {
 		t.Error("unknown profile name did not error")
 	}
 	names := Names()
-	if len(names) != 3 {
-		t.Fatalf("Names() = %v, want 3 canned profiles", names)
+	if len(names) != 4 {
+		t.Fatalf("Names() = %v, want 4 canned profiles", names)
 	}
 	for i := 1; i < len(names); i++ {
 		if names[i-1] >= names[i] {

@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/core"
+	"github.com/clasp-measurement/clasp/internal/selection"
+
+	clasp "github.com/clasp-measurement/clasp"
+)
+
+// artifactOrder is every paper artifact, in the order "all" renders them.
+var artifactOrder = []string{
+	"table1", "fig2", "fig3", "fig4a", "fig4b", "fig4c",
+	"fig5", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "headlines",
+}
+
+// Artifacts returns the renderable artifact names ("all" last).
+func Artifacts() []string {
+	out := make([]string, 0, len(artifactOrder)+1)
+	out = append(out, artifactOrder...)
+	return append(out, "all")
+}
+
+// knownArtifacts is the Artifacts list as a set.
+func knownArtifacts() map[string]bool {
+	set := make(map[string]bool)
+	for _, a := range Artifacts() {
+		set[a] = true
+	}
+	return set
+}
+
+// ArtifactCache shares campaign results across the artifacts of one run so
+// each region is measured exactly once (the `report all` economics: ten of
+// the thirteen artifacts reuse the same six topology campaigns).
+type ArtifactCache struct {
+	topo    map[string]*core.CampaignResult
+	topoSel map[string]*selection.TopoResult
+	diff    map[string]*core.CampaignResult
+	diffSel map[string][]selection.DiffSelected
+}
+
+// NewArtifactCache returns an empty cache.
+func NewArtifactCache() *ArtifactCache {
+	return &ArtifactCache{
+		topo:    make(map[string]*core.CampaignResult),
+		topoSel: make(map[string]*selection.TopoResult),
+		diff:    make(map[string]*core.CampaignResult),
+		diffSel: make(map[string][]selection.DiffSelected),
+	}
+}
+
+func (c *ArtifactCache) topology(eng *core.CLASP, region string, days int) (*core.CampaignResult, *selection.TopoResult, error) {
+	if res, ok := c.topo[region]; ok {
+		return res, c.topoSel[region], nil
+	}
+	res, sel, err := eng.RunTopologyCampaign(region, days)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.topo[region] = res
+	c.topoSel[region] = sel
+	return res, sel, nil
+}
+
+func (c *ArtifactCache) differential(eng *core.CLASP, region string, days, minSamples int) (*core.CampaignResult, []selection.DiffSelected, error) {
+	if res, ok := c.diff[region]; ok {
+		return res, c.diffSel[region], nil
+	}
+	res, sel, err := eng.RunDifferentialCampaign(region, days, minSamples)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.diff[region] = res
+	c.diffSel[region] = sel
+	return res, sel, nil
+}
+
+// RenderArtifact regenerates one (or all) paper artifacts. It is the single
+// artifact renderer: `clasp report` and scenario runs both call it, which
+// is what makes a scenario's artifact section byte-identical to the CLI.
+func RenderArtifact(out io.Writer, p *clasp.Platform, cache *ArtifactCache, artifact string, days, minSamples int) error {
+	eng := p.Engine()
+
+	topoCampaigns := func(regions []string) (map[string]*core.CampaignResult, error) {
+		results := make(map[string]*core.CampaignResult)
+		for _, r := range regions {
+			res, _, err := cache.topology(eng, r, days)
+			if err != nil {
+				return nil, err
+			}
+			results[r] = res
+		}
+		return results, nil
+	}
+
+	switch artifact {
+	case "table1":
+		rows, err := eng.Table1(core.Table1Regions)
+		if err != nil {
+			return err
+		}
+		core.WriteTable1(out, rows)
+
+	case "fig2":
+		results, err := topoCampaigns(core.TopologyRegions)
+		if err != nil {
+			return err
+		}
+		core.WriteFig2(out, core.Fig2(results, nil, eng.Opts.Parallelism))
+
+	case "fig3":
+		res, _, err := cache.topology(eng, "us-west1", days)
+		if err != nil {
+			return err
+		}
+		d, err := eng.Fig3(res)
+		if err != nil {
+			return err
+		}
+		core.WriteFig3(out, d)
+
+	case "fig4a":
+		results, err := topoCampaigns(core.Table1Regions)
+		if err != nil {
+			return err
+		}
+		for _, r := range core.Table1Regions {
+			d, err := core.Fig4(results[r], bgp.Premium)
+			if err != nil {
+				return err
+			}
+			core.WriteFig4(out, d)
+		}
+
+	case "fig4b", "fig4c":
+		tier := bgp.Premium
+		if artifact == "fig4c" {
+			tier = bgp.Standard
+		}
+		for _, r := range core.DifferentialRegions {
+			res, _, err := cache.differential(eng, r, days, minSamples)
+			if err != nil {
+				return err
+			}
+			d, err := core.Fig4(res, tier)
+			if err != nil {
+				return err
+			}
+			core.WriteFig4(out, d)
+		}
+
+	case "fig5":
+		res, sel, err := cache.differential(eng, "europe-west1", days, minSamples)
+		if err != nil {
+			return err
+		}
+		s, err := core.Fig5(res, sel)
+		if err != nil {
+			return err
+		}
+		core.WriteFig5(out, s)
+
+	case "fig6a", "fig6b":
+		region := "us-east1"
+		if artifact == "fig6b" {
+			region = "us-west1"
+		}
+		res, _, err := cache.topology(eng, region, days)
+		if err != nil {
+			return err
+		}
+		core.WriteFig6(out, region, eng.Fig6(res, bgp.Premium, 10))
+
+	case "fig6c":
+		res, _, err := cache.differential(eng, "europe-west1", days, minSamples)
+		if err != nil {
+			return err
+		}
+		core.WriteFig6(out, "europe-west1 premium", eng.Fig6(res, bgp.Premium, 6))
+		core.WriteFig6(out, "europe-west1 standard", eng.Fig6(res, bgp.Standard, 6))
+
+	case "fig7":
+		for _, region := range core.Table1Regions {
+			_, sel, err := cache.topology(eng, region, days)
+			if err != nil {
+				return err
+			}
+			core.WriteFig7(out, eng.Fig7(region, sel, nil))
+		}
+		diff, _, err := eng.SelectDifferentialServers("europe-west1", minSamples)
+		if err != nil {
+			return err
+		}
+		core.WriteFig7(out, eng.Fig7("europe-west1", nil, diff))
+
+	case "fig8":
+		results, err := topoCampaigns(core.Table1Regions)
+		if err != nil {
+			return err
+		}
+		for _, r := range core.Table1Regions {
+			core.WriteFig8(out, r, eng.Fig8(results[r], bgp.Premium))
+		}
+
+	case "headlines":
+		results, err := topoCampaigns(core.TopologyRegions)
+		if err != nil {
+			return err
+		}
+		diff, _, err := cache.differential(eng, "europe-west1", days, minSamples)
+		if err != nil {
+			return err
+		}
+		core.WriteHeadlines(out, eng.ComputeHeadlines(results, diff))
+
+	case "all":
+		for _, a := range artifactOrder {
+			core.Separator(out, a)
+			if err := RenderArtifact(out, p, cache, a, days, minSamples); err != nil {
+				return fmt.Errorf("%s: %w", a, err)
+			}
+		}
+
+	default:
+		return fmt.Errorf("unknown artifact %q", artifact)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package scenario
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the scenario golden files")
+
+const catalogDir = "../../examples/scenarios"
+
+// TestCatalogGoldens runs every catalog scenario and compares its report to
+// the golden pinned beside it. Regenerate with:
+//
+//	go test ./internal/scenario -run TestCatalogGoldens -update
+//
+// paper-repro is the full 153-day paper-scale evaluation (minutes of CPU);
+// it only runs when CLASP_SCENARIO_HEAVY is set, and its golden is pinned
+// against paperscale_report.txt by the test below either way.
+func TestCatalogGoldens(t *testing.T) {
+	specs, err := LoadDir(catalogDir)
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", catalogDir, err)
+	}
+	if len(specs) < 5 {
+		t.Fatalf("catalog has %d scenarios, want at least 5", len(specs))
+	}
+	r := NewRunner()
+	for _, s := range specs {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			if s.Name == "paper-repro" && os.Getenv("CLASP_SCENARIO_HEAVY") == "" {
+				t.Skip("set CLASP_SCENARIO_HEAVY=1 to run the paper-scale scenario")
+			}
+			var buf bytes.Buffer
+			if err := r.Run(&buf, s); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			golden := filepath.Join(catalogDir, s.Name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatalf("writing %s: %v", golden, err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("reading golden (run with -update to create it): %v", err)
+			}
+			if err := diffBytes(buf.Bytes(), want); err != nil {
+				t.Errorf("scenario %s drifted from %s: %v", s.Name, golden, err)
+			}
+		})
+	}
+}
+
+// TestPaperReproGoldenIsPaperscaleReport pins the repro contract without
+// paying for the run: the paper-repro golden must be byte-identical to the
+// repository's paperscale_report.txt, so
+// `clasp run examples/scenarios/paper-repro.json` reproduces the paper
+// report exactly.
+func TestPaperReproGoldenIsPaperscaleReport(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join(catalogDir, "paper-repro.golden"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	want, err := os.ReadFile("../../paperscale_report.txt")
+	if err != nil {
+		t.Fatalf("reading paperscale_report.txt: %v", err)
+	}
+	if err := diffBytes(golden, want); err != nil {
+		t.Errorf("paper-repro.golden != paperscale_report.txt: %v", err)
+	}
+}
+
+// diffBytes reports the first divergence between got and want with a line
+// of context, so a golden failure is actionable without external tooling.
+func diffBytes(got, want []byte) error {
+	if bytes.Equal(got, want) {
+		return nil
+	}
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	line := 1 + bytes.Count(got[:i], []byte("\n"))
+	gotLine := surroundingLine(got, i)
+	wantLine := surroundingLine(want, i)
+	return fmt.Errorf("first difference at byte %d (line %d):\n  got:  %q\n  want: %q (got %d bytes, want %d)",
+		i, line, gotLine, wantLine, len(got), len(want))
+}
+
+func surroundingLine(b []byte, i int) string {
+	if i > len(b) {
+		i = len(b)
+	}
+	start := bytes.LastIndexByte(b[:i], '\n') + 1
+	end := bytes.IndexByte(b[i:], '\n')
+	if end < 0 {
+		end = len(b)
+	} else {
+		end += i
+	}
+	return string(b[start:end])
+}

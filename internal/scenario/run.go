@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/clasp-measurement/clasp/internal/core"
+	"github.com/clasp-measurement/clasp/internal/topology"
+
+	clasp "github.com/clasp-measurement/clasp"
+)
+
+// Runner executes scenarios. It caches warmed substrates (topology + BGP
+// router) per (seed, scale), so a fleet of scenarios sharing generation
+// parameters builds the expensive immutable state once; everything stateful
+// stays per-scenario, which keeps every run byte-identical to running the
+// same scenario alone.
+type Runner struct {
+	mu   sync.Mutex
+	subs map[string]*subEntry
+}
+
+type subEntry struct {
+	once sync.Once
+	sub  *core.Substrate
+	err  error
+}
+
+// NewRunner returns a Runner with an empty substrate cache.
+func NewRunner() *Runner {
+	return &Runner{subs: make(map[string]*subEntry)}
+}
+
+// substrate returns the shared substrate for (seed, scale), building it at
+// most once even under concurrent fleet callers. The config is derived
+// exactly like core.New derives it from Options{Seed, Scale}, so injecting
+// the substrate passes core.New's config-match check.
+func (r *Runner) substrate(seed int64, scale float64) (*core.Substrate, error) {
+	key := fmt.Sprintf("%d/%g", seed, scale)
+	r.mu.Lock()
+	e, ok := r.subs[key]
+	if !ok {
+		e = &subEntry{}
+		r.subs[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		cfg := topology.PaperScaleConfig()
+		cfg.Scale = scale
+		cfg.Seed = seed
+		e.sub, e.err = core.NewSubstrate(cfg)
+	})
+	return e.sub, e.err
+}
+
+// Run executes one scenario, writing its report to w. The output is a pure
+// function of the spec: same spec, same bytes, at any parallelism and
+// whether the run is alone or part of a fleet.
+func (r *Runner) Run(w io.Writer, s *Spec) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	sub, err := r.substrate(s.seed(), s.scale())
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	eng, err := core.New(core.Options{
+		Seed:            s.seed(),
+		Scale:           s.scale(),
+		Parallelism:     s.Parallelism,
+		FaultProfile:    s.FaultProfile,
+		CaptureEvery:    s.CaptureEvery,
+		TracerouteEvery: s.TracerouteEvery,
+		Substrate:       sub,
+	})
+	if err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	p := clasp.NewFromCore(eng)
+	cache := NewArtifactCache()
+
+	for i := range s.Campaigns {
+		if err := r.runCampaign(w, s, &s.Campaigns[i], p, cache); err != nil {
+			return fmt.Errorf("scenario %s: campaigns[%d]: %w", s.Name, i, err)
+		}
+	}
+	for _, a := range s.Artifacts {
+		// "all" emits its own per-artifact separators — rendering it bare is
+		// what keeps paper-repro byte-identical to `clasp report all`.
+		if a != "all" {
+			core.Separator(w, a)
+		}
+		if err := RenderArtifact(w, p, cache, a, s.days(), s.minSamples()); err != nil {
+			return fmt.Errorf("scenario %s: artifact %s: %w", s.Name, a, err)
+		}
+	}
+	return nil
+}
+
+// runCampaign runs one campaign of a scenario across its regions.
+func (r *Runner) runCampaign(w io.Writer, s *Spec, c *CampaignSpec, p *clasp.Platform, cache *ArtifactCache) error {
+	eng := p.Engine()
+	days := c.Days
+	if days == 0 {
+		days = s.days()
+	}
+	for _, region := range c.Regions {
+		core.Separator(w, c.Kind+" "+region)
+		var res *core.CampaignResult
+		var err error
+		switch c.Kind {
+		case KindTopology:
+			if days == s.days() {
+				// Same shape the artifacts would run — share the result.
+				res, _, err = cache.topology(eng, region, days)
+			} else {
+				res, _, err = eng.RunTopologyCampaign(region, days)
+			}
+		case KindDifferential:
+			if days == s.days() {
+				res, _, err = cache.differential(eng, region, days, s.minSamples())
+			} else {
+				res, _, err = eng.RunDifferentialCampaign(region, days, s.minSamples())
+			}
+		}
+		if err != nil {
+			return err
+		}
+		writeCampaignSummary(w, res)
+		if c.renderCongestion() {
+			rep, err := p.CongestionReport(res)
+			if err != nil {
+				return err
+			}
+			clasp.WriteReport(w, rep)
+		}
+		if c.renderTiers() {
+			tc, err := p.CompareTiers(res)
+			if err != nil {
+				return err
+			}
+			writeTierComparison(w, tc)
+		}
+	}
+	return nil
+}
+
+// writeCampaignSummary renders the orchestration report exactly like
+// `clasp campaign` does.
+func writeCampaignSummary(w io.Writer, res *core.CampaignResult) {
+	fmt.Fprintf(w, "Campaign: %d tests over %d hours with %d VMs\n",
+		res.Report.Tests, res.Report.Hours, res.Report.VMs)
+	if r := res.Report; r.Failed+r.Dropped+r.Retried+r.Preemptions+r.VMCreateRetries > 0 {
+		fmt.Fprintf(w, "Resilience: %d failed, %d retried, %d dropped, %d preemptions, %d create retries, %d breaker-open rounds\n",
+			r.Failed, r.Retried, r.Dropped, r.Preemptions, r.VMCreateRetries, r.BreakerOpenRounds)
+	}
+}
+
+// writeTierComparison renders the §4.1 premium-vs-standard summary.
+func writeTierComparison(w io.Writer, tc *clasp.TierComparison) {
+	fmt.Fprintf(w, "Tier comparison for %s over %d paired tests\n", tc.Region, tc.PairedTests)
+	fmt.Fprintf(w, "  standard faster: %.1f%% of downloads, %.1f%% of uploads\n",
+		tc.StdFasterDownload*100, tc.StdFasterUpload*100)
+	fmt.Fprintf(w, "  downloads within 50%%: %.1f%%   median download delta: %+.3f\n",
+		tc.Within50*100, tc.MedianDownloadDelta)
+}

@@ -36,11 +36,14 @@ type Server struct {
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 // Serve starts accepting connections on ln; it owns the listener.
 func Serve(ln net.Listener) *Server {
-	s := &Server{ln: ln, closed: make(chan struct{})}
+	s := &Server{ln: ln, closed: make(chan struct{}), conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -58,16 +61,72 @@ func Listen(addr string) (*Server, error) {
 // Addr returns the listening address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Close stops the server and waits for handlers to finish. It is safe to
-// call multiple times.
+// Close stops the server immediately: it stops accepting, severs every
+// active connection, and waits for handlers to finish. In-flight tests are
+// dropped — use Shutdown for a graceful drain. Safe to call multiple times.
 func (s *Server) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		err = s.ln.Close()
+		s.closeActiveConns()
 		s.wg.Wait()
 	})
 	return err
+}
+
+// Shutdown gracefully stops the server: it stops accepting new connections
+// and waits for active tests to finish on their own. If ctx expires first,
+// the remaining connections are severed (mid-transfer clients see a read
+// error, exactly like a network drop) and ctx.Err() is returned. Like
+// http.Server.Shutdown, it is safe to call concurrently with Close and
+// returns nil once every handler has exited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		_ = s.ln.Close()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeActiveConns()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// closeActiveConns severs every tracked connection, unblocking its handler.
+func (s *Server) closeActiveConns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		_ = c.Close()
+	}
+}
+
+// track registers (add) or forgets (remove) an active connection; it reports
+// whether the server is still open. A false return means the server stopped
+// accepting between Accept and track, and the caller must drop the conn.
+func (s *Server) track(conn net.Conn, add bool) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if add {
+		select {
+		case <-s.closed:
+			return false
+		default:
+		}
+		s.conns[conn] = struct{}{}
+	} else {
+		delete(s.conns, conn)
+	}
+	return true
 }
 
 func (s *Server) acceptLoop() {
@@ -82,9 +141,14 @@ func (s *Server) acceptLoop() {
 				return
 			}
 		}
+		if !s.track(conn, true) {
+			conn.Close()
+			return
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.track(conn, false)
 			defer conn.Close()
 			s.handle(conn)
 		}()

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"testing"
@@ -251,5 +252,91 @@ func TestServerConcurrentClients(t *testing.T) {
 		if err := <-errs; err != nil {
 			t.Errorf("concurrent client: %v", err)
 		}
+	}
+}
+
+// TestShutdownWaitsForInFlight pins the graceful-drain contract: Shutdown
+// stops accepting immediately but lets an in-flight test finish on its own
+// before returning nil.
+func TestShutdownWaitsForInFlight(t *testing.T) {
+	s := startServer(t)
+	addr := s.Addr().String()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "HI\n")
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+
+	// Shutdown must not return while the test is still running.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned %v while a connection was active", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// New connections are refused during the drain.
+	if c2, err := net.DialTimeout("tcp", addr, 500*time.Millisecond); err == nil {
+		c2.Close()
+		t.Error("draining server accepted a new connection")
+	}
+	// The in-flight conversation still works end to end.
+	fmt.Fprintf(conn, "DOWNLOAD 1000\n")
+	buf := make([]byte, 1000)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		t.Fatalf("in-flight download failed during drain: %v", err)
+	}
+	fmt.Fprintf(conn, "QUIT\n")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Shutdown = %v after client finished, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after the client quit")
+	}
+}
+
+// TestShutdownDeadlineSeversConnections pins the other half of the
+// contract: when the context expires before clients finish, Shutdown severs
+// the stragglers, returns the context error, and still waits for handlers
+// to exit.
+func TestShutdownDeadlineSeversConnections(t *testing.T) {
+	s := startServer(t)
+	conn, err := net.Dial("tcp", s.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "HI\n")
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = s.Shutdown(ctx) // the idle client never quits
+	if err != context.DeadlineExceeded {
+		t.Errorf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("Shutdown did not honour its deadline promptly")
+	}
+	// The straggler was severed: its next read fails once the buffer drains.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Error("severed connection still readable")
 	}
 }

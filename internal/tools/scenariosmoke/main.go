@@ -1,0 +1,84 @@
+// Command scenariosmoke is the CI gate for the declarative scenario layer:
+// it runs the catalog's small-smoke scenario twice — alone and as part of a
+// two-scenario fleet sharing one substrate — and fails unless both outputs
+// are byte-identical to the committed golden. On success it prints the
+// golden's size, so drift shows up as a diff against a known artifact
+// rather than a flaky assertion.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/clasp-measurement/clasp/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenariosmoke: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const dir = "examples/scenarios"
+	spec, err := scenario.LoadFile(filepath.Join(dir, "small-smoke.json"))
+	if err != nil {
+		return err
+	}
+	golden, err := os.ReadFile(filepath.Join(dir, "small-smoke.golden"))
+	if err != nil {
+		return fmt.Errorf("reading golden: %w", err)
+	}
+
+	var alone bytes.Buffer
+	if err := scenario.NewRunner().Run(&alone, spec); err != nil {
+		return err
+	}
+	if !bytes.Equal(alone.Bytes(), golden) {
+		return fmt.Errorf("small-smoke output drifted from its golden (%d bytes, want %d); regenerate with `go test ./internal/scenario -run TestCatalogGoldens -update` and review the diff", alone.Len(), len(golden))
+	}
+
+	// Fleet mode must reproduce the same bytes for the scenario even while
+	// another scenario runs concurrently on the shared substrate.
+	outage, err := scenario.LoadFile(filepath.Join(dir, "outage-drill.json"))
+	if err != nil {
+		return err
+	}
+	var fleet bytes.Buffer
+	if err := scenario.NewRunner().Fleet(&fleet, []*scenario.Spec{spec, outage}); err != nil {
+		return err
+	}
+	section := fleetSection(fleet.Bytes(), spec.Name)
+	if section == nil {
+		return fmt.Errorf("fleet output has no %q section", spec.Name)
+	}
+	if !bytes.Equal(section, golden) {
+		return fmt.Errorf("fleet section for %s (%d bytes) differs from the solo golden (%d bytes)", spec.Name, len(section), len(golden))
+	}
+	fmt.Printf("scenariosmoke: OK: small-smoke solo and in-fleet both match golden (%d bytes)\n", len(golden))
+	return nil
+}
+
+// fleetSection extracts one scenario's bytes from fleet output: everything
+// after its "scenario <name>" banner up to the next scenario banner.
+func fleetSection(out []byte, name string) []byte {
+	banner := []byte("\nscenario " + name + "\n")
+	i := bytes.Index(out, banner)
+	if i < 0 {
+		return nil
+	}
+	// Skip the banner's underline line too.
+	rest := out[i+len(banner):]
+	if j := bytes.IndexByte(rest, '\n'); j >= 0 {
+		rest = rest[j+1:]
+	}
+	// The next banner's leading newline is the separator's own, not the
+	// section's: cut before it.
+	if j := bytes.Index(rest, []byte("\nscenario ")); j >= 0 {
+		rest = rest[:j]
+	}
+	return rest
+}

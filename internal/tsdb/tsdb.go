@@ -276,6 +276,10 @@ func (s *Store) SeriesCount() int {
 // entries of `match` (empty matches everything) within [from, to).
 // Zero times disable that bound. Results are grouped per series, sorted by
 // series key.
+//
+// The returned series are deep copies: Tags and every Point.Fields map are
+// owned by the caller, so mutating a query result never corrupts stored
+// samples (pinned by TestQueryResultsDoNotAliasStore).
 func (s *Store) Query(measurement string, match Tags, from, to time.Time) []Series {
 	defer s.lockAll()()
 	byKey := make(map[string]*Series)
@@ -310,12 +314,20 @@ func (s *Store) Query(measurement string, match Tags, from, to time.Time) []Seri
 			if !to.IsZero() && !p.Time.Before(to) {
 				continue
 			}
-			pts = append(pts, p)
+			fields := make(map[string]float64, len(p.Fields))
+			for fk, fv := range p.Fields {
+				fields[fk] = fv
+			}
+			pts = append(pts, Point{Time: p.Time, Fields: fields})
 		}
 		if len(pts) == 0 {
 			continue
 		}
-		out = append(out, Series{Measurement: sr.Measurement, Tags: sr.Tags, Points: pts})
+		tags := make(Tags, len(sr.Tags))
+		for tk, tv := range sr.Tags {
+			tags[tk] = tv
+		}
+		out = append(out, Series{Measurement: sr.Measurement, Tags: tags, Points: pts})
 	}
 	return out
 }
@@ -424,18 +436,28 @@ type Bucket struct {
 // GroupByTime buckets one series' field by window and aggregates each
 // bucket. Buckets align to the Unix epoch. Empty buckets are never
 // materialised, so agg is always called with at least one value.
+//
+// Bucket starts are computed in nanoseconds with a floored modulo, so
+// sub-second windows work (the old seconds-based arithmetic divided by
+// int64(window.Seconds()) == 0 for window < time.Second) and pre-epoch
+// points round down rather than toward zero.
 func GroupByTime(sr Series, field string, window time.Duration, agg Aggregator) []Bucket {
 	if window <= 0 || agg == nil {
 		return nil
 	}
+	w := window.Nanoseconds()
 	byStart := make(map[int64][]float64)
 	for _, p := range sr.Points {
 		v, ok := p.Fields[field]
 		if !ok {
 			continue
 		}
-		start := p.Time.Unix() - p.Time.Unix()%int64(window.Seconds())
-		byStart[start] = append(byStart[start], v)
+		ns := p.Time.UnixNano()
+		rem := ns % w
+		if rem < 0 {
+			rem += w
+		}
+		byStart[ns-rem] = append(byStart[ns-rem], v)
 	}
 	starts := make([]int64, 0, len(byStart))
 	for s := range byStart {
@@ -445,7 +467,7 @@ func GroupByTime(sr Series, field string, window time.Duration, agg Aggregator) 
 	out := make([]Bucket, 0, len(starts))
 	for _, st := range starts {
 		xs := byStart[st]
-		out = append(out, Bucket{Start: time.Unix(st, 0).UTC(), Value: agg(xs), N: len(xs)})
+		out = append(out, Bucket{Start: time.Unix(0, st).UTC(), Value: agg(xs), N: len(xs)})
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package tsdb
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -138,6 +139,82 @@ func TestGroupByTime(t *testing.T) {
 	}
 }
 
+// Regression: windows under one second used to compute bucket starts with
+// int64(window.Seconds()) == 0 and panic with an integer divide by zero.
+func TestGroupByTimeSubSecondWindow(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 8; i++ {
+		s.Insert("m", nil, t0.Add(time.Duration(i)*100*time.Millisecond),
+			map[string]float64{"v": float64(i)})
+	}
+	sr := s.Query("m", nil, time.Time{}, time.Time{})[0]
+	buckets := GroupByTime(sr, "v", 250*time.Millisecond, AggMean)
+	// Points at 0..700 ms in 250 ms windows: [0,250) [250,500) [500,750).
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(buckets))
+	}
+	for i, b := range buckets {
+		want := t0.Add(time.Duration(i) * 250 * time.Millisecond)
+		if !b.Start.Equal(want) {
+			t.Errorf("bucket %d start = %v, want %v", i, b.Start, want)
+		}
+	}
+	if buckets[0].N != 3 || buckets[1].N != 2 { // 0,100,200 ms then 300,400 ms
+		t.Errorf("bucket sizes = %d, %d, want 3, 2", buckets[0].N, buckets[1].N)
+	}
+}
+
+// Pre-epoch points round down to their window start (floored modulo), not
+// toward zero.
+func TestGroupByTimePreEpochFloors(t *testing.T) {
+	s := NewStore()
+	at := time.Unix(-90, 0).UTC() // 90 s before the epoch
+	s.Insert("m", nil, at, map[string]float64{"v": 1})
+	sr := s.Query("m", nil, time.Time{}, time.Time{})[0]
+	buckets := GroupByTime(sr, "v", time.Minute, AggMean)
+	if len(buckets) != 1 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if want := time.Unix(-120, 0).UTC(); !buckets[0].Start.Equal(want) {
+		t.Errorf("bucket start = %v, want %v", buckets[0].Start, want)
+	}
+}
+
+// Regression: Query used to return the store's own Tags and Point.Fields
+// maps, so callers mutating a result silently corrupted stored samples.
+func TestQueryResultsDoNotAliasStore(t *testing.T) {
+	s := NewStore()
+	tags := Tags{"server": "7"}
+	if err := s.Insert("m", tags, t0, map[string]float64{"mbps": 100}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Query("m", nil, time.Time{}, time.Time{})
+	if len(got) != 1 {
+		t.Fatalf("query returned %d series", len(got))
+	}
+	got[0].Tags["server"] = "evil"
+	got[0].Tags["extra"] = "x"
+	got[0].Points[0].Fields["mbps"] = -1
+	got[0].Points[0].Fields["injected"] = 42
+
+	again := s.Query("m", nil, time.Time{}, time.Time{})
+	if len(again) != 1 {
+		t.Fatalf("re-query returned %d series", len(again))
+	}
+	if v := again[0].Tags["server"]; v != "7" {
+		t.Errorf("stored tag mutated through query result: server = %q", v)
+	}
+	if _, ok := again[0].Tags["extra"]; ok {
+		t.Error("tag added through query result reached the store")
+	}
+	if v := again[0].Points[0].Fields["mbps"]; v != 100 {
+		t.Errorf("stored field mutated through query result: mbps = %v", v)
+	}
+	if _, ok := again[0].Points[0].Fields["injected"]; ok {
+		t.Error("field added through query result reached the store")
+	}
+}
+
 func TestLineProtocolRoundTrip(t *testing.T) {
 	s := NewStore()
 	s.Insert("throughput", Tags{"server": "7", "tier": "premium"}, t0, map[string]float64{"mbps": 312.25, "loss": 0.001})
@@ -228,6 +305,73 @@ func TestRoundTripProperty(t *testing.T) {
 		return bytes.Equal(buf.Bytes(), buf2.Bytes())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the line protocol round-trips the edge cases scenario fixtures
+// lean on — negative and zero (epoch) timestamps, g-format float fields
+// down to tiny exponents (1e-07 and friends), multi-field points, and
+// tag-less series. WriteTo → Read must preserve every parsed value exactly,
+// and a second WriteTo must be byte-identical (canonical serialisation).
+func TestRoundTripEdgeCasesProperty(t *testing.T) {
+	fieldNames := []string{"v", "mbps", "rtt_ms", "loss"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewStore()
+		for i := 0; i < 40; i++ {
+			var tags Tags
+			if rng.Intn(3) > 0 { // one third of points land in tag-less series
+				tags = Tags{"s": string(rune('a' + rng.Intn(3)))}
+			}
+			// Timestamps straddle the epoch: negative, zero and positive
+			// nanosecond counts all occur.
+			at := time.Unix(0, rng.Int63n(2_000_000)-1_000_000).UTC()
+			if i == 0 {
+				at = time.Unix(0, 0).UTC()
+			}
+			fields := make(map[string]float64)
+			for _, fn := range fieldNames[:1+rng.Intn(len(fieldNames))] {
+				v := rng.NormFloat64() * 1e3
+				switch rng.Intn(4) {
+				case 0:
+					v = rng.Float64() * 1e-7 // forces 'g' exponent form, e.g. 1e-08
+				case 1:
+					v = 1e-07
+				case 2:
+					v = -v
+				}
+				fields[fn] = v
+			}
+			if err := s.Insert("m", tags, at, fields); err != nil {
+				t.Logf("seed %d: insert: %v", seed, err)
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("seed %d: read: %v", seed, err)
+			return false
+		}
+		// Value-level check, not just textual: every queried point survives
+		// with bit-exact fields and timestamps.
+		want := s.Query("m", nil, time.Time{}, time.Time{})
+		have := got.Query("m", nil, time.Time{}, time.Time{})
+		if !reflect.DeepEqual(want, have) {
+			t.Logf("seed %d: queried series diverged after round trip", seed)
+			return false
+		}
+		var buf2 bytes.Buffer
+		if _, err := got.WriteTo(&buf2); err != nil {
+			return false
+		}
+		return bytes.Equal(buf.Bytes(), buf2.Bytes())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
 	}
 }
