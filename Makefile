@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke bench-check ci
+.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke bench-check ci
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,11 @@ race:
 # joined with the pre-engine baselines from BENCH_analysis_baseline.txt; it
 # runs -count=3 (benchjson keeps the min) because the ms-scale analysis
 # kernels see far fewer iterations per run than the ns-scale hot-path ones.
+# The fifth pass records the columnar-block numbers in BENCH_tsdb.json:
+# block encode/decode ns/op with the compressed bytes/sample, record-log
+# append with bytes/record (the ≥4x win over the 88-byte struct), and the
+# streaming cursor kernels beside their in-memory counterparts in
+# BENCH_analysis.json.
 bench:
 	$(GO) test -run=^$$ -bench='BenchmarkMeasure|BenchmarkInsert' -benchmem \
 		./internal/netsim/ ./internal/tsdb/ | tee -a /dev/stderr | \
@@ -54,6 +59,11 @@ bench:
 		$(GO) run ./internal/tools/benchjson -baseline BENCH_analysis_baseline.txt \
 		-note "analysis engine: grouping and sweep kernels, percentile rollup, and the end-to-end CongestionReport; Speedup joins the pre-engine numbers in BENCH_analysis_baseline.txt (map-of-slices grouping, per-threshold re-splits, serial report)" \
 		-out BENCH_analysis.json
+	$(GO) test -run=^$$ -bench='BenchmarkBlock' -benchmem -count=3 \
+		./internal/tsdb/ ./internal/analysis/ | tee -a /dev/stderr | \
+		$(GO) run ./internal/tools/benchjson \
+		-note "columnar blocks: BlockEncode/BlockDecode seal and reopen one 512-point tsdb block (extra bytes/sample is the compressed footprint; a raw ts+3-field sample is 32 B, a live Point ~200 B); BlockRecordLogAppend is streaming campaign ingest (extra bytes/record vs the 88 B in-memory Measurement — the >=4x compression gate); BlockStream* are the cursor kernels over a compressed log, comparable to their in-memory twins in BENCH_analysis.json" \
+		-out BENCH_tsdb.json
 
 # bench-all runs every benchmark in the repo.
 bench-all:
@@ -92,6 +102,14 @@ fault-smoke:
 scenario-smoke:
 	$(GO) run ./internal/tools/scenariosmoke
 
+# block-smoke is the storage-determinism gate: it runs the small-smoke
+# scenario with the record-memory budget and spill enabled and diffs the
+# report against the committed golden, then forces the streaming path on a
+# longer variant (budgeted vs unbounded must be byte-identical) and asserts
+# a budgeted campaign really does compress and spill its records.
+block-smoke:
+	$(GO) run ./internal/tools/blocksmoke
+
 # bench-check re-runs the recorded benchmarks and compares them against
 # the committed BENCH_*.json records: more than +25% ns/op or any rise in
 # allocs/op fails the build (timings get machine-noise slack; allocation
@@ -100,16 +118,16 @@ scenario-smoke:
 # scheduler can't produce a false regression.
 bench-check:
 	$(GO) test -run=^$$ -count=3 -benchtime=0.5s \
-		-bench='BenchmarkMeasure|BenchmarkInsert|BenchmarkObs|BenchmarkFaults|BenchmarkAnalysis' -benchmem \
+		-bench='BenchmarkMeasure|BenchmarkInsert|BenchmarkObs|BenchmarkFaults|BenchmarkAnalysis|BenchmarkBlock' -benchmem \
 		./internal/netsim/ ./internal/tsdb/ ./internal/obs/ ./internal/faults/ \
 		./internal/analysis/ ./internal/congestion/ . | tee -a /dev/stderr | \
 		$(GO) run ./internal/tools/benchdiff \
 		-against BENCH_hotpath.json -against BENCH_obs.json -against BENCH_faults.json \
-		-against BENCH_analysis.json
+		-against BENCH_analysis.json -against BENCH_tsdb.json
 
 # ci is the gate for every change: formatting, tier-1 build + tests,
 # static checks, the full suite under the race detector, a benchmark
-# smoke run, the observability, fault-injection, analysis-determinism and
-# scenario-golden smoke gates, and the benchmark regression check against
-# the committed BENCH_*.json records.
-ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke bench-check
+# smoke run, the observability, fault-injection, analysis-determinism,
+# scenario-golden and storage-determinism smoke gates, and the benchmark
+# regression check against the committed BENCH_*.json records.
+ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke bench-check

@@ -72,6 +72,16 @@ type Options struct {
 	// setting.
 	CaptureEvery    int
 	TracerouteEvery int
+	// MaxMemoryMB budgets the resident footprint of campaign records
+	// (0 = unbounded). Campaigns whose raw record slice would exceed half
+	// the budget stream their records through a compressed, disk-spilled
+	// columnar log instead; analyses read it back block-at-a-time, and
+	// every report stays byte-identical to the in-memory path.
+	MaxMemoryMB int
+	// SpillDir is where streaming campaigns place their spilled record
+	// logs ("" = the system temp dir). Spill files are unlinked at
+	// creation, so they vanish with the process.
+	SpillDir string
 }
 
 // Platform is a fully wired CLASP instance over the simulated Internet and
@@ -96,6 +106,8 @@ func New(opts Options) (*Platform, error) {
 		FaultProfile:    opts.FaultProfile,
 		CaptureEvery:    opts.CaptureEvery,
 		TracerouteEvery: opts.TracerouteEvery,
+		MaxMemoryMB:     opts.MaxMemoryMB,
+		SpillDir:        opts.SpillDir,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("clasp: %w", err)
@@ -183,13 +195,13 @@ type CongestionReport struct {
 // merge reads them back in index order — so the report is bit-identical
 // at any parallelism (pinned by TestCongestionReportGolden).
 func (p *Platform) CongestionReport(res *CampaignResult) (*CongestionReport, error) {
-	if res == nil || len(res.Records) == 0 {
+	if res == nil || res.NumRecords() == 0 {
 		return nil, fmt.Errorf("clasp: empty campaign result")
 	}
-	sp := obs.Trace("congestion_report").With("region", res.Region).WithInt("records", len(res.Records))
+	sp := obs.Trace("congestion_report").With("region", res.Region).WithInt("records", res.NumRecords())
 	defer sp.End()
 	det := congestion.NewDetector()
-	withServer := analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium)
+	withServer := analysis.GroupSeriesWithServerCursor(res.Cursor(), netsim.Download, bgp.Premium)
 	if len(withServer) == 0 {
 		return nil, fmt.Errorf("clasp: no premium download series in result")
 	}
@@ -303,11 +315,11 @@ func (p *Platform) CompareTiers(res *CampaignResult) (*TierComparison, error) {
 	if res == nil {
 		return nil, fmt.Errorf("clasp: nil campaign result")
 	}
-	down := analysis.TierDeltas(res.Records, res.Region, analysis.MetricDownload)
+	down := analysis.TierDeltasCursor(res.Cursor(), res.Region, analysis.MetricDownload)
 	if len(down) == 0 {
 		return nil, fmt.Errorf("clasp: no paired tier measurements (run a differential campaign)")
 	}
-	up := analysis.TierDeltas(res.Records, res.Region, analysis.MetricUpload)
+	up := analysis.TierDeltasCursor(res.Cursor(), res.Region, analysis.MetricUpload)
 	cdf, err := analysis.DeltaCDF(down)
 	if err != nil {
 		return nil, err
@@ -358,11 +370,11 @@ type HMMEvents struct {
 // DetectHMM applies the HMM detector to the most congested pair of a
 // campaign (or the pair with the given server ID when serverID >= 0).
 func (p *Platform) DetectHMM(res *CampaignResult, serverID int) (*HMMEvents, error) {
-	if res == nil || len(res.Records) == 0 {
+	if res == nil || res.NumRecords() == 0 {
 		return nil, fmt.Errorf("clasp: empty campaign result")
 	}
 	det := congestion.NewDetector()
-	series := analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium)
+	series := analysis.GroupSeriesWithServerCursor(res.Cursor(), netsim.Download, bgp.Premium)
 	if len(series) == 0 {
 		return nil, fmt.Errorf("clasp: no premium download series")
 	}

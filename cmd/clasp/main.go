@@ -33,6 +33,12 @@
 //	                congested-server, or outage; campaigns retry, degrade and
 //	                account for the injected failures deterministically per
 //	                seed
+//	-max-memory N   campaign record memory budget in MB (default 0 =
+//	                unbounded); campaigns exceeding it stream records
+//	                through a compressed, disk-spilled columnar log, with
+//	                byte-identical reports
+//	-spill-dir D    directory for spilled record logs (default: the system
+//	                temp dir); spill files are unlinked at creation
 //	-metrics-out F  enable metrics; write a Prometheus text dump to F and a
 //	                JSON snapshot to F.json when the command finishes
 //	-tracelog F     enable tracing; append span events as JSON lines to F
@@ -79,6 +85,8 @@ func run(args []string) error {
 	parallelism := fs.Int("parallelism", 1, "concurrent VM workers per campaign round and analysis workers per report")
 	faultProfile := fs.String("fault-profile", "none",
 		fmt.Sprintf("fault-injection profile (%s)", strings.Join(faults.Names(), ", ")))
+	maxMemory := fs.Int("max-memory", 0, "campaign record memory budget in MB (0 = unbounded); larger campaigns stream through a compressed spillable log")
+	spillDir := fs.String("spill-dir", "", "directory for spilled record logs (default: the system temp dir)")
 	metricsOut := fs.String("metrics-out", "", "enable metrics and write Prometheus text to this file (JSON snapshot beside it as <file>.json)")
 	tracelog := fs.String("tracelog", "", "enable tracing and write span events as JSON lines to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -159,6 +167,8 @@ func run(args []string) error {
 			Scale:        *scale,
 			Parallelism:  *parallelism,
 			FaultProfile: *faultProfile,
+			MaxMemoryMB:  *maxMemory,
+			SpillDir:     *spillDir,
 		})
 		if err != nil {
 			return err

@@ -52,7 +52,7 @@ func main() {
 	fmt.Printf("median download delta (prem-std)/std: %+.2f; |delta|<0.5 in %.0f%%\n",
 		cmp.MedianDownloadDelta, cmp.Within50*100)
 
-	lossy := analysis.PremiumLossTargets(res.Records, region, 0.02)
+	lossy := analysis.PremiumLossTargetsCursor(res.Cursor(), region, 0.02)
 	fmt.Printf("\npremium-tier targets with persistent loss (> 2%% mean):\n")
 	for _, l := range lossy {
 		srv := eng.Topo.Server(l.ServerID)

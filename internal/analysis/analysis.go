@@ -66,7 +66,12 @@ func pairIDString(region string, serverID int, tier bgp.Tier, dir netsim.Directi
 // per pair, filtered by direction and tier. It is a projection of
 // GroupSeriesWithServer (same kernel, server attribution dropped).
 func GroupSeries(ms []Measurement, dir netsim.Direction, tier bgp.Tier) []congestion.Series {
-	withServer := GroupSeriesWithServer(ms, dir, tier)
+	return GroupSeriesCursor(NewSliceCursor(ms), dir, tier)
+}
+
+// GroupSeriesCursor is GroupSeries over a measurement cursor.
+func GroupSeriesCursor(c Cursor, dir netsim.Direction, tier bgp.Tier) []congestion.Series {
+	withServer := GroupSeriesWithServerCursor(c, dir, tier)
 	out := make([]congestion.Series, len(withServer))
 	for i := range withServer {
 		out[i] = withServer[i].Series
@@ -105,10 +110,17 @@ var groupScratch = sync.Pool{New: func() any { return new(groupBuffers) }}
 // the series. Sortedness is tracked per slot during the scan, so already
 // time-ordered pairs (the campaign's hour-major layout) skip sorting.
 func GroupSeriesWithServer(ms []Measurement, dir netsim.Direction, tier bgp.Tier) []SeriesWithServer {
-	sp := obs.Trace("analysis.group").WithInt("records", len(ms))
+	return GroupSeriesWithServerCursor(NewSliceCursor(ms), dir, tier)
+}
+
+// GroupSeriesWithServerCursor runs the grouping kernel over a measurement
+// cursor, one batch at a time: only the matching samples are staged, so
+// the peak footprint is the output plus one input block, independent of
+// stream length. A SliceCursor degenerates to the old contiguous loop.
+func GroupSeriesWithServerCursor(c Cursor, dir netsim.Direction, tier bgp.Tier) []SeriesWithServer {
+	sp := obs.Trace("analysis.group")
 	defer sp.End()
 	obsGroupCalls.Inc()
-	obsGroupRecords.Add(uint64(len(ms)))
 
 	type pairSlot struct {
 		regionIdx   int32
@@ -128,64 +140,70 @@ func GroupSeriesWithServer(ms []Measurement, dir netsim.Direction, tier bgp.Tier
 	gb := groupScratch.Get().(*groupBuffers)
 	tmp := gb.samples[:0]
 	slotOf := gb.slotOf[:0]
-	for i := range ms {
-		m := &ms[i]
-		if m.Dir != dir || m.Tier != tier {
-			continue
-		}
-		ri := lastIdx
-		if m.Region != lastRegion || regions == nil {
-			ri = -1
-			for r, name := range regions {
-				if name == m.Region {
-					ri = int32(r)
-					break
+	records := 0
+	for ms := c.Next(); ms != nil; ms = c.Next() {
+		records += len(ms)
+		for i := range ms {
+			m := &ms[i]
+			if m.Dir != dir || m.Tier != tier {
+				continue
+			}
+			ri := lastIdx
+			if m.Region != lastRegion || regions == nil {
+				ri = -1
+				for r, name := range regions {
+					if name == m.Region {
+						ri = int32(r)
+						break
+					}
 				}
+				if ri < 0 {
+					ri = int32(len(regions))
+					regions = append(regions, m.Region)
+					tables = append(tables, nil)
+				}
+				lastRegion, lastIdx = m.Region, ri
 			}
-			if ri < 0 {
-				ri = int32(len(regions))
-				regions = append(regions, m.Region)
-				tables = append(tables, nil)
+			var si int32
+			if id := m.ServerID; id >= 0 && id < denseServerMax {
+				t := tables[ri]
+				if id >= len(t) {
+					nt := make([]int32, id+64)
+					copy(nt, t)
+					tables[ri] = nt
+					t = nt
+				}
+				si = t[id] - 1
+				if si < 0 {
+					si = int32(len(slots))
+					t[id] = si + 1
+					slots = append(slots, pairSlot{regionIdx: ri, serverID: id})
+				}
+			} else {
+				if overflow == nil {
+					overflow = make(map[PairKey]int32)
+				}
+				k := PairKey{ServerID: id, Region: m.Region, Tier: tier, Dir: dir}
+				v, ok := overflow[k]
+				if !ok {
+					v = int32(len(slots))
+					overflow[k] = v
+					slots = append(slots, pairSlot{regionIdx: ri, serverID: id})
+				}
+				si = v
 			}
-			lastRegion, lastIdx = m.Region, ri
+			s := &slots[si]
+			if s.count > 0 && m.Time.Before(s.last) {
+				s.unsorted = true
+			}
+			s.last = m.Time
+			s.count++
+			tmp = append(tmp, congestion.Sample{Time: m.Time, Mbps: m.Mbps})
+			slotOf = append(slotOf, si)
 		}
-		var si int32
-		if id := m.ServerID; id >= 0 && id < denseServerMax {
-			t := tables[ri]
-			if id >= len(t) {
-				nt := make([]int32, id+64)
-				copy(nt, t)
-				tables[ri] = nt
-				t = nt
-			}
-			si = t[id] - 1
-			if si < 0 {
-				si = int32(len(slots))
-				t[id] = si + 1
-				slots = append(slots, pairSlot{regionIdx: ri, serverID: id})
-			}
-		} else {
-			if overflow == nil {
-				overflow = make(map[PairKey]int32)
-			}
-			k := PairKey{ServerID: id, Region: m.Region, Tier: tier, Dir: dir}
-			v, ok := overflow[k]
-			if !ok {
-				v = int32(len(slots))
-				overflow[k] = v
-				slots = append(slots, pairSlot{regionIdx: ri, serverID: id})
-			}
-			si = v
-		}
-		s := &slots[si]
-		if s.count > 0 && m.Time.Before(s.last) {
-			s.unsorted = true
-		}
-		s.last = m.Time
-		s.count++
-		tmp = append(tmp, congestion.Sample{Time: m.Time, Mbps: m.Mbps})
-		slotOf = append(slotOf, si)
 	}
+	obsGroupRecords.Add(uint64(records))
+	sp.WithInt("records", records)
 	if len(slots) == 0 {
 		gb.samples, gb.slotOf = tmp, slotOf
 		groupScratch.Put(gb)
@@ -242,10 +260,12 @@ func GroupSeriesWithServer(ms []Measurement, dir netsim.Direction, tier bgp.Tier
 // SeriesFromStore reconstructs congestion-analysis series from the
 // time-series store (the paper's pipeline: raw results land in InfluxDB,
 // the analysis reads hourly series back out). Filters mirror GroupSeries.
+// Reads go through QueryView — the store's maps are never written to, so
+// the copy-free read-only path is safe here (see tsdb.Store.QueryView).
 func SeriesFromStore(store *tsdb.Store, dir netsim.Direction, tier bgp.Tier) []congestion.Series {
 	match := tsdb.Tags{"dir": dir.String(), "tier": tier.String()}
 	var out []congestion.Series
-	for _, sr := range store.Query("speedtest", match, time.Time{}, time.Time{}) {
+	for _, sr := range store.QueryView("speedtest", match, time.Time{}, time.Time{}) {
 		cs := congestion.Series{
 			PairID: fmt.Sprintf("%s/%s/%s/%s", sr.Tags["region"], sr.Tags["server"], sr.Tags["tier"], sr.Tags["dir"]),
 		}
@@ -282,6 +302,14 @@ type PerfPoint struct {
 // latency samples land in two contiguous buffers and each percentile is
 // selected (stats.PercentileInPlace) rather than paying a full sort.
 func PerfPoints(ms []Measurement) []PerfPoint {
+	return PerfPointsCursor(NewSliceCursor(ms))
+}
+
+// PerfPointsCursor is PerfPoints over a measurement cursor. The kernel was
+// already two-pass (count, then re-scan and fill); the cursor version
+// replays the stream with Reset instead of re-walking a slice, so it holds
+// two contiguous float columns plus one input block, never the records.
+func PerfPointsCursor(c Cursor) []PerfPoint {
 	type slotKey struct {
 		server, ym int // ym = year*12 + month: (year, month) order preserved
 		ri         int32
@@ -301,36 +329,38 @@ func PerfPoints(ms []Measurement) []PerfPoint {
 	idx := make(map[slotKey]int32)
 	var slots []slot
 	var slotOf []int32
-	for i := range ms {
-		m := &ms[i]
-		if m.Dir != netsim.Download {
-			continue
-		}
-		ri := lastIdx
-		if m.Region != lastRegion || regions == nil {
-			ri = -1
-			for r, name := range regions {
-				if name == m.Region {
-					ri = int32(r)
-					break
+	for ms := c.Next(); ms != nil; ms = c.Next() {
+		for i := range ms {
+			m := &ms[i]
+			if m.Dir != netsim.Download {
+				continue
+			}
+			ri := lastIdx
+			if m.Region != lastRegion || regions == nil {
+				ri = -1
+				for r, name := range regions {
+					if name == m.Region {
+						ri = int32(r)
+						break
+					}
 				}
+				if ri < 0 {
+					ri = int32(len(regions))
+					regions = append(regions, m.Region)
+				}
+				lastRegion, lastIdx = m.Region, ri
 			}
-			if ri < 0 {
-				ri = int32(len(regions))
-				regions = append(regions, m.Region)
+			year, month, _ := m.Time.Date()
+			k := slotKey{server: m.ServerID, ym: year*12 + int(month), ri: ri}
+			si, ok := idx[k]
+			if !ok {
+				si = int32(len(slots))
+				idx[k] = si
+				slots = append(slots, slot{server: m.ServerID, ri: ri, year: year, month: month})
 			}
-			lastRegion, lastIdx = m.Region, ri
+			slots[si].count++
+			slotOf = append(slotOf, si)
 		}
-		year, month, _ := m.Time.Date()
-		k := slotKey{server: m.ServerID, ym: year*12 + int(month), ri: ri}
-		si, ok := idx[k]
-		if !ok {
-			si = int32(len(slots))
-			idx[k] = si
-			slots = append(slots, slot{server: m.ServerID, ri: ri, year: year, month: month})
-		}
-		slots[si].count++
-		slotOf = append(slotOf, si)
 	}
 	if len(slots) == 0 {
 		return nil
@@ -361,16 +391,19 @@ func PerfPoints(ms []Measurement) []PerfPoint {
 	down := make([]float64, total)
 	lat := make([]float64, total)
 	j := 0
-	for i := range ms {
-		m := &ms[i]
-		if m.Dir != netsim.Download {
-			continue
+	c.Reset()
+	for ms := c.Next(); ms != nil; ms = c.Next() {
+		for i := range ms {
+			m := &ms[i]
+			if m.Dir != netsim.Download {
+				continue
+			}
+			s := &slots[slotOf[j]]
+			j++
+			down[s.next] = m.Mbps
+			lat[s.next] = m.RTTms
+			s.next++
 		}
-		s := &slots[slotOf[j]]
-		j++
-		down[s.next] = m.Mbps
-		lat[s.next] = m.RTTms
-		s.next++
 	}
 	out := make([]PerfPoint, 0, len(order))
 	for _, si := range order {
@@ -438,6 +471,12 @@ type TierDelta struct {
 // (server, region, direction) in the same hour and computes the relative
 // difference for the requested metric.
 func TierDeltas(ms []Measurement, region string, metric Metric) []TierDelta {
+	return TierDeltasCursor(NewSliceCursor(ms), region, metric)
+}
+
+// TierDeltasCursor is TierDeltas over a measurement cursor. Only the
+// matched (server, hour) pairs are retained, not the input stream.
+func TierDeltasCursor(c Cursor, region string, metric Metric) []TierDelta {
 	type key struct {
 		server int
 		hour   int64
@@ -448,19 +487,21 @@ func TierDeltas(ms []Measurement, region string, metric Metric) []TierDelta {
 	}
 	prem := make(map[key]Measurement)
 	std := make(map[key]Measurement)
-	for _, m := range ms {
-		if m.Region != region {
-			continue
-		}
-		// Latency deltas ride on download tests (each test reports RTT).
-		if m.Dir != wantDir {
-			continue
-		}
-		k := key{m.ServerID, m.Time.Unix() / 3600}
-		if m.Tier == bgp.Premium {
-			prem[k] = m
-		} else {
-			std[k] = m
+	for ms := c.Next(); ms != nil; ms = c.Next() {
+		for _, m := range ms {
+			if m.Region != region {
+				continue
+			}
+			// Latency deltas ride on download tests (each test reports RTT).
+			if m.Dir != wantDir {
+				continue
+			}
+			k := key{m.ServerID, m.Time.Unix() / 3600}
+			if m.Tier == bgp.Premium {
+				prem[k] = m
+			} else {
+				std[k] = m
+			}
 		}
 	}
 	var out []TierDelta
@@ -546,14 +587,21 @@ type LossySummary struct {
 // PremiumLossTargets returns servers whose average premium-tier download
 // loss exceeds the threshold (the paper found eight above 10 %).
 func PremiumLossTargets(ms []Measurement, region string, threshold float64) []LossySummary {
+	return PremiumLossTargetsCursor(NewSliceCursor(ms), region, threshold)
+}
+
+// PremiumLossTargetsCursor is PremiumLossTargets over a measurement cursor.
+func PremiumLossTargetsCursor(c Cursor, region string, threshold float64) []LossySummary {
 	sum := make(map[int]float64)
 	n := make(map[int]int)
-	for _, m := range ms {
-		if m.Region != region || m.Tier != bgp.Premium || m.Dir != netsim.Download {
-			continue
+	for ms := c.Next(); ms != nil; ms = c.Next() {
+		for _, m := range ms {
+			if m.Region != region || m.Tier != bgp.Premium || m.Dir != netsim.Download {
+				continue
+			}
+			sum[m.ServerID] += m.Loss
+			n[m.ServerID]++
 		}
-		sum[m.ServerID] += m.Loss
-		n[m.ServerID]++
 	}
 	var out []LossySummary
 	for id, s := range sum {

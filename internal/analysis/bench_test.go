@@ -45,6 +45,11 @@ func benchRecords(pairs, days int) []Measurement {
 // 45-day campaign (~276k records, half matching the download filter).
 func BenchmarkAnalysisGroupSeries(b *testing.B) {
 	ms := benchRecords(128, 45)
+	// One warm pass pays first-use lazy costs outside the timer so
+	// allocs/op is the same at any -benchtime.
+	if series := GroupSeries(ms, netsim.Download, bgp.Premium); len(series) != 128 {
+		b.Fatalf("series = %d", len(series))
+	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -59,6 +64,9 @@ func BenchmarkAnalysisGroupSeries(b *testing.B) {
 // feeding Fig. 6/Fig. 8 and the congestion report.
 func BenchmarkAnalysisGroupSeriesWithServer(b *testing.B) {
 	ms := benchRecords(128, 45)
+	if series := GroupSeriesWithServer(ms, netsim.Download, bgp.Premium); len(series) != 128 {
+		b.Fatalf("series = %d", len(series))
+	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
@@ -73,6 +81,9 @@ func BenchmarkAnalysisGroupSeriesWithServer(b *testing.B) {
 // p95-download / p5-latency points.
 func BenchmarkAnalysisPerfPoints(b *testing.B) {
 	ms := benchRecords(128, 45)
+	if pts := PerfPoints(ms); len(pts) == 0 {
+		b.Fatal("no perf points")
+	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

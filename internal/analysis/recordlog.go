@@ -1,0 +1,373 @@
+// RecordLog is the streaming-analysis storage for raw measurement records:
+// an append-only columnar log that compresses Measurements ~5x against the
+// in-memory struct slice (delta-of-delta times, zigzag-delta server IDs,
+// interned regions, XOR float columns — internal/colenc, the same codecs
+// as tsdb's sealed blocks) and can spill its sealed blocks to an unlinked
+// temp file so a campaign's footprint stays bounded by the block size, not
+// the record count. Decode is lossless: a cursor replays the exact
+// append sequence, so every analysis is byte-identical to the in-memory
+// path (pinned by TestRecordLogRoundTrip and the blocksmoke CI gate).
+
+package analysis
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/colenc"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"time"
+)
+
+// logBlockSize is the records-per-block granularity: one block is the unit
+// of compression, of spill I/O, and of cursor batches — the peak streaming
+// footprint per reader.
+const logBlockSize = 4096
+
+type logBlock struct {
+	n    int
+	data []byte // nil once spilled
+	off  int64  // offset in the spill file, valid when data is nil
+	size int64
+}
+
+// RecordLog accumulates measurements in append order. Append is
+// single-writer (the orchestrator's sink goroutine); cursors may be opened
+// concurrently once appending is done. Spill moves sealed block payloads
+// into an anonymous temp file (created then immediately removed, so the
+// space is reclaimed when the process exits no matter how).
+type RecordLog struct {
+	regions   []string
+	regionIdx map[string]int
+
+	blocks []logBlock
+	tail   []Measurement
+
+	count       int
+	firstRec    Measurement
+	lastRec     Measurement
+	spill       *os.File
+	spilled     bool
+	inlineBytes int // total encoded bytes still held in memory
+}
+
+// NewRecordLog returns an empty log.
+func NewRecordLog() *RecordLog {
+	return &RecordLog{regionIdx: make(map[string]int)}
+}
+
+// Append adds one record. Not safe for concurrent use, and must not be
+// called after Spill.
+func (l *RecordLog) Append(m Measurement) {
+	if l.spilled {
+		panic("analysis: RecordLog.Append after Spill")
+	}
+	if l.count == 0 {
+		l.firstRec = m
+	}
+	l.lastRec = m
+	l.count++
+	l.tail = append(l.tail, m)
+	if len(l.tail) >= logBlockSize {
+		l.sealTail()
+	}
+}
+
+// Len returns the number of records appended.
+func (l *RecordLog) Len() int { return l.count }
+
+// First returns the first appended record (zero value when empty).
+func (l *RecordLog) First() Measurement { return l.firstRec }
+
+// Last returns the last appended record (zero value when empty).
+func (l *RecordLog) Last() Measurement { return l.lastRec }
+
+// CompressedBytes returns the encoded size of all sealed blocks, wherever
+// they live (memory or spill file).
+func (l *RecordLog) CompressedBytes() int {
+	n := 0
+	for i := range l.blocks {
+		n += int(l.blocks[i].size)
+	}
+	return n
+}
+
+// MemoryBytes approximates the log's resident footprint: encoded blocks
+// still in memory plus the raw tail.
+func (l *RecordLog) MemoryBytes() int {
+	const measurementSize = 88 // unsafe.Sizeof(Measurement{}), kept literal for doc value
+	return l.inlineBytes + len(l.tail)*measurementSize
+}
+
+// Spill seals the tail and moves every block payload into an unlinked temp
+// file under dir (""+os.TempDir() semantics of os.CreateTemp). After Spill
+// the log is read-only; cursors read blocks back with ReadAt, so any
+// number may run concurrently. Close releases the file descriptor.
+func (l *RecordLog) Spill(dir string) error {
+	if l.spilled {
+		return nil
+	}
+	if len(l.tail) > 0 {
+		l.sealTail()
+	}
+	f, err := os.CreateTemp(dir, "clasp-recordlog-*.spill")
+	if err != nil {
+		return err
+	}
+	// Unlink immediately: the kernel reclaims the space when the last fd
+	// closes, even on crash. The name is gone but ReadAt still works.
+	if err := os.Remove(f.Name()); err != nil {
+		f.Close()
+		return err
+	}
+	var off int64
+	for i := range l.blocks {
+		b := &l.blocks[i]
+		if _, err := f.WriteAt(b.data, off); err != nil {
+			f.Close()
+			return err
+		}
+		b.off = off
+		off += b.size
+		b.data = nil
+	}
+	l.inlineBytes = 0
+	l.spill = f
+	l.spilled = true
+	return nil
+}
+
+// Spilled reports whether the log's blocks live on disk.
+func (l *RecordLog) Spilled() bool { return l.spilled }
+
+// Close releases the spill file, if any. Cursors must not be used after.
+func (l *RecordLog) Close() error {
+	if l.spill == nil {
+		return nil
+	}
+	err := l.spill.Close()
+	l.spill = nil
+	return err
+}
+
+func (l *RecordLog) internRegion(r string) int {
+	if i, ok := l.regionIdx[r]; ok {
+		return i
+	}
+	i := len(l.regions)
+	l.regions = append(l.regions, r)
+	l.regionIdx[r] = i
+	return i
+}
+
+// sealTail compresses the tail into one block. Column order: times,
+// server IDs, region indices, tiers, dirs, mbps, rtt, loss.
+func (l *RecordLog) sealTail() {
+	ms := l.tail
+	n := len(ms)
+	buf := make([]byte, 0, 20*n)
+	ts := make([]int64, n)
+	for i := range ms {
+		ts[i] = ms[i].Time.UnixNano()
+	}
+	buf = colenc.AppendTimes(buf, ts)
+	prev := int64(0)
+	for i := range ms {
+		id := int64(ms[i].ServerID)
+		buf = colenc.AppendVarint(buf, id-prev)
+		prev = id
+	}
+	for i := range ms {
+		buf = colenc.AppendUvarint(buf, uint64(l.internRegion(ms[i].Region)))
+	}
+	// Tier and direction are tiny enums; the common case packs both into
+	// one byte per record (flag 1). Out-of-range values fall back to two
+	// zigzag varint columns (flag 0), keeping the log lossless for any int.
+	packable := true
+	for i := range ms {
+		if t, d := int64(ms[i].Tier), int64(ms[i].Dir); t < 0 || t > 15 || d < 0 || d > 15 {
+			packable = false
+			break
+		}
+	}
+	if packable {
+		buf = append(buf, 1)
+		for i := range ms {
+			buf = append(buf, byte(ms[i].Tier)<<4|byte(ms[i].Dir))
+		}
+	} else {
+		buf = append(buf, 0)
+		for i := range ms {
+			buf = colenc.AppendVarint(buf, int64(ms[i].Tier))
+		}
+		for i := range ms {
+			buf = colenc.AppendVarint(buf, int64(ms[i].Dir))
+		}
+	}
+	vals := make([]float64, n)
+	for _, get := range []func(*Measurement) float64{
+		func(m *Measurement) float64 { return m.Mbps },
+		func(m *Measurement) float64 { return m.RTTms },
+		func(m *Measurement) float64 { return m.Loss },
+	} {
+		for i := range ms {
+			vals[i] = get(&ms[i])
+		}
+		buf = colenc.AppendFloats(buf, vals)
+	}
+	l.blocks = append(l.blocks, logBlock{n: n, data: buf, size: int64(len(buf))})
+	l.inlineBytes += len(buf)
+	l.tail = l.tail[:0]
+}
+
+// decodeLogBlock reconstructs one block into dst (resliced). Scratch
+// slices are reused across calls.
+func (l *RecordLog) decodeLogBlock(data []byte, n int, dst []Measurement, ts []int64, vals []float64) ([]Measurement, []int64, []float64, error) {
+	dst = dst[:0]
+	var k int
+	var err error
+	ts, k, err = colenc.DecodeTimes(ts, data, n)
+	if err != nil {
+		return dst, ts, vals, err
+	}
+	data = data[k:]
+	if cap(dst) < n {
+		dst = make([]Measurement, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, Measurement{Time: time.Unix(0, ts[i]).UTC()})
+	}
+	prev := int64(0)
+	for i := 0; i < n; i++ {
+		d, k := colenc.Varint(data)
+		if k == 0 {
+			return dst, ts, vals, fmt.Errorf("truncated server column")
+		}
+		data = data[k:]
+		prev += d
+		dst[i].ServerID = int(prev)
+	}
+	for i := 0; i < n; i++ {
+		ri, k := colenc.Uvarint(data)
+		if k == 0 || ri >= uint64(len(l.regions)) {
+			return dst, ts, vals, fmt.Errorf("bad region index")
+		}
+		data = data[k:]
+		dst[i].Region = l.regions[ri]
+	}
+	if len(data) == 0 {
+		return dst, ts, vals, fmt.Errorf("truncated tier/dir flag")
+	}
+	packed := data[0]
+	data = data[1:]
+	switch packed {
+	case 1:
+		if len(data) < n {
+			return dst, ts, vals, fmt.Errorf("truncated packed tier/dir column")
+		}
+		for i := 0; i < n; i++ {
+			dst[i].Tier = bgp.Tier(data[i] >> 4)
+			dst[i].Dir = netsim.Direction(data[i] & 0xf)
+		}
+		data = data[n:]
+	case 0:
+		for i := 0; i < n; i++ {
+			v, k := colenc.Varint(data)
+			if k == 0 {
+				return dst, ts, vals, fmt.Errorf("truncated tier column")
+			}
+			data = data[k:]
+			dst[i].Tier = bgp.Tier(v)
+		}
+		for i := 0; i < n; i++ {
+			v, k := colenc.Varint(data)
+			if k == 0 {
+				return dst, ts, vals, fmt.Errorf("truncated dir column")
+			}
+			data = data[k:]
+			dst[i].Dir = netsim.Direction(v)
+		}
+	default:
+		return dst, ts, vals, fmt.Errorf("bad tier/dir flag %d", packed)
+	}
+	for col := 0; col < 3; col++ {
+		vals, k, err = colenc.DecodeFloats(vals, data, n)
+		if err != nil {
+			return dst, ts, vals, err
+		}
+		data = data[k:]
+		for i := 0; i < n; i++ {
+			switch col {
+			case 0:
+				dst[i].Mbps = vals[i]
+			case 1:
+				dst[i].RTTms = vals[i]
+			case 2:
+				dst[i].Loss = vals[i]
+			}
+		}
+	}
+	if len(data) != 0 {
+		return dst, ts, vals, fmt.Errorf("%d trailing bytes", len(data))
+	}
+	return dst, ts, vals, nil
+}
+
+// Cursor returns a new cursor over the log, replaying records in append
+// order one block at a time. Each cursor owns its scratch, so independent
+// cursors (ParallelFor workers, repeated artifact renders) can run
+// concurrently once appending is done.
+func (l *RecordLog) Cursor() Cursor {
+	return &logCursor{l: l}
+}
+
+type logCursor struct {
+	l       *RecordLog
+	next    int // block index; len(blocks) = tail, beyond = EOF
+	batch   []Measurement
+	readBuf []byte
+	ts      []int64
+	vals    []float64
+}
+
+// Next decodes and returns the next block of records; the batch is only
+// valid until the following Next or Reset. A corrupt or unreadable spill
+// block panics: the log wrote these bytes itself moments ago, so damage
+// means the environment is failing and silent truncation of results would
+// be worse.
+func (c *logCursor) Next() []Measurement {
+	l := c.l
+	if c.next > len(l.blocks) {
+		return nil
+	}
+	if c.next == len(l.blocks) {
+		c.next++
+		if len(l.tail) == 0 {
+			return nil
+		}
+		return l.tail
+	}
+	b := &l.blocks[c.next]
+	c.next++
+	data := b.data
+	if data == nil {
+		if cap(c.readBuf) < int(b.size) {
+			c.readBuf = make([]byte, b.size)
+		}
+		c.readBuf = c.readBuf[:b.size]
+		if _, err := l.spill.ReadAt(c.readBuf, b.off); err != nil {
+			panic(fmt.Sprintf("analysis: record log spill read: %v", err))
+		}
+		data = c.readBuf
+	}
+	var err error
+	c.batch, c.ts, c.vals, err = l.decodeLogBlock(data, b.n, c.batch, c.ts, c.vals)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: record log corrupt: %v", err))
+	}
+	return c.batch
+}
+
+// Reset rewinds the cursor to the first record.
+func (c *logCursor) Reset() { c.next = 0 }

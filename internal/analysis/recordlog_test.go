@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+)
+
+// campaignRecords builds n hour-major campaign-shaped measurements, the
+// layout the orchestrator's sink delivers.
+func campaignRecords(n int) []Measurement {
+	rng := rand.New(rand.NewSource(3))
+	base := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	regions := []string{"us-west1", "us-east1", "europe-west1"}
+	ms := make([]Measurement, n)
+	for i := range ms {
+		ms[i] = Measurement{
+			ServerID: i % 40,
+			Region:   regions[(i/40)%len(regions)],
+			Tier:     bgp.Tier(i % 2),
+			Dir:      netsim.Direction((i / 2) % 2),
+			Time:     base.Add(time.Duration(i/160) * time.Hour),
+			Mbps:     rng.Float64() * 900,
+			RTTms:    rng.Float64() * 80,
+			// Loss mirrors the simulator: the clean-path residual constant
+			// almost always, a congestion value occasionally.
+			Loss: 3e-7,
+		}
+		if rng.Intn(20) == 0 {
+			ms[i].Loss = rng.Float64() * 0.05
+		}
+	}
+	return ms
+}
+
+func measurementsEqual(a, b Measurement) bool {
+	return a.ServerID == b.ServerID && a.Region == b.Region &&
+		a.Tier == b.Tier && a.Dir == b.Dir &&
+		a.Time.Equal(b.Time) &&
+		math.Float64bits(a.Mbps) == math.Float64bits(b.Mbps) &&
+		math.Float64bits(a.RTTms) == math.Float64bits(b.RTTms) &&
+		math.Float64bits(a.Loss) == math.Float64bits(b.Loss)
+}
+
+func drain(c Cursor) []Measurement {
+	var out []Measurement
+	for batch := c.Next(); batch != nil; batch = c.Next() {
+		out = append(out, batch...)
+	}
+	return out
+}
+
+func newLog(t *testing.T, ms []Measurement) *RecordLog {
+	t.Helper()
+	l := NewRecordLog()
+	for _, m := range ms {
+		l.Append(m)
+	}
+	return l
+}
+
+// TestRecordLogRoundTrip pins losslessness: a cursor replays the exact
+// append sequence across block boundaries, twice (Reset determinism).
+func TestRecordLogRoundTrip(t *testing.T) {
+	ms := campaignRecords(3*logBlockSize + 177) // blocks + partial tail
+	l := newLog(t, ms)
+	if l.Len() != len(ms) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(ms))
+	}
+	if !measurementsEqual(l.First(), ms[0]) || !measurementsEqual(l.Last(), ms[len(ms)-1]) {
+		t.Fatal("First/Last drifted")
+	}
+	c := l.Cursor()
+	for pass := 0; pass < 2; pass++ {
+		got := drain(c)
+		if len(got) != len(ms) {
+			t.Fatalf("pass %d: got %d records, want %d", pass, len(got), len(ms))
+		}
+		for i := range ms {
+			if !measurementsEqual(got[i], ms[i]) {
+				t.Fatalf("pass %d: record %d drifted:\n in: %+v\nout: %+v", pass, i, ms[i], got[i])
+			}
+		}
+		c.Reset()
+	}
+}
+
+// TestRecordLogSpill pins that spilling to disk changes nothing a reader
+// can see, drops the resident footprint, and supports concurrent cursors.
+func TestRecordLogSpill(t *testing.T) {
+	ms := campaignRecords(2*logBlockSize + 17)
+	l := newLog(t, ms)
+	before := l.MemoryBytes()
+	if err := l.Spill(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !l.Spilled() {
+		t.Fatal("not spilled")
+	}
+	if l.MemoryBytes() != 0 {
+		t.Fatalf("MemoryBytes = %d after spill, want 0 (was %d)", l.MemoryBytes(), before)
+	}
+	if l.CompressedBytes() == 0 {
+		t.Fatal("CompressedBytes = 0")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := drain(l.Cursor())
+			if len(got) != len(ms) {
+				t.Errorf("got %d records, want %d", len(got), len(ms))
+				return
+			}
+			for i := range ms {
+				if !measurementsEqual(got[i], ms[i]) {
+					t.Errorf("record %d drifted after spill", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Spill(t.TempDir()); err != nil {
+		t.Fatalf("second Spill: %v", err)
+	}
+}
+
+// TestRecordLogCompression pins the ≥4x bytes/record win over the 88-byte
+// in-memory Measurement struct on campaign-shaped data.
+func TestRecordLogCompression(t *testing.T) {
+	ms := campaignRecords(4 * logBlockSize) // sealed blocks only
+	l := newLog(t, ms)
+	perRecord := float64(l.CompressedBytes()) / float64(4*logBlockSize)
+	if perRecord > 21.5 {
+		t.Fatalf("compressed bytes/record = %.1f, want <= 21.5 (>4x vs 88B struct)", perRecord)
+	}
+	t.Logf("bytes/record = %.1f (%.1fx vs in-memory struct)", perRecord, 88/perRecord)
+}
+
+// TestRecordLogUnpackableTierDir pins the fallback column for enum values
+// outside the packed 4-bit range.
+func TestRecordLogUnpackableTierDir(t *testing.T) {
+	ms := campaignRecords(100)
+	ms[17].Tier = 99
+	ms[23].Dir = -3
+	l := NewRecordLog()
+	for _, m := range ms {
+		l.Append(m)
+	}
+	l.sealTail() // force encode despite the short tail
+	got := drain(l.Cursor())
+	if len(got) != len(ms) {
+		t.Fatalf("got %d records, want %d", len(got), len(ms))
+	}
+	for i := range ms {
+		if !measurementsEqual(got[i], ms[i]) {
+			t.Fatalf("record %d drifted", i)
+		}
+	}
+}
+
+// TestCursorKernelsMatchSlice pins byte-identity of the streaming path:
+// every cursor kernel over a compressed (and spilled) log produces exactly
+// the slice kernel's output.
+func TestCursorKernelsMatchSlice(t *testing.T) {
+	ms := campaignRecords(2*logBlockSize + 503)
+	l := newLog(t, ms)
+	if err := l.Spill(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	if got, want := GroupSeriesWithServerCursor(l.Cursor(), netsim.Download, bgp.Premium),
+		GroupSeriesWithServer(ms, netsim.Download, bgp.Premium); !reflect.DeepEqual(got, want) {
+		t.Fatal("GroupSeriesWithServerCursor differs from slice kernel")
+	}
+	if got, want := GroupSeriesCursor(l.Cursor(), netsim.Upload, bgp.Standard),
+		GroupSeries(ms, netsim.Upload, bgp.Standard); !reflect.DeepEqual(got, want) {
+		t.Fatal("GroupSeriesCursor differs from slice kernel")
+	}
+	if got, want := PerfPointsCursor(l.Cursor()), PerfPoints(ms); !reflect.DeepEqual(got, want) {
+		t.Fatal("PerfPointsCursor differs from slice kernel")
+	}
+	for _, metric := range []Metric{MetricDownload, MetricUpload, MetricLatency} {
+		if got, want := TierDeltasCursor(l.Cursor(), "us-west1", metric),
+			TierDeltas(ms, "us-west1", metric); !reflect.DeepEqual(got, want) {
+			t.Fatalf("TierDeltasCursor(%v) differs from slice kernel", metric)
+		}
+	}
+	if got, want := PremiumLossTargetsCursor(l.Cursor(), "us-east1", 0.01),
+		PremiumLossTargets(ms, "us-east1", 0.01); !reflect.DeepEqual(got, want) {
+		t.Fatal("PremiumLossTargetsCursor differs from slice kernel")
+	}
+}
+
+// TestFilterCursor pins the filtered view used by the Fig. 4 tier split.
+func TestFilterCursor(t *testing.T) {
+	ms := campaignRecords(logBlockSize + 301)
+	l := newLog(t, ms)
+	keep := func(m *Measurement) bool { return m.Tier == bgp.Premium }
+	var want []Measurement
+	for _, m := range ms {
+		if m.Tier == bgp.Premium {
+			want = append(want, m)
+		}
+	}
+	fc := NewFilterCursor(l.Cursor(), keep)
+	for pass := 0; pass < 2; pass++ {
+		got := drain(fc)
+		if len(got) != len(want) {
+			t.Fatalf("pass %d: got %d records, want %d", pass, len(got), len(want))
+		}
+		for i := range want {
+			if !measurementsEqual(got[i], want[i]) {
+				t.Fatalf("pass %d: record %d drifted", pass, i)
+			}
+		}
+		fc.Reset()
+	}
+	// Filtered cursor drives the same kernel output as a filtered slice.
+	if got, want := PerfPointsCursor(NewFilterCursor(l.Cursor(), keep)), PerfPoints(want); !reflect.DeepEqual(got, want) {
+		t.Fatal("PerfPoints over FilterCursor differs from filtered slice")
+	}
+}
+
+// TestSliceCursorEmpty pins the EOF contract on empty input.
+func TestSliceCursorEmpty(t *testing.T) {
+	c := NewSliceCursor(nil)
+	if c.Next() != nil {
+		t.Fatal("empty cursor should yield nil")
+	}
+	if out := GroupSeriesWithServerCursor(NewSliceCursor(nil), netsim.Download, bgp.Premium); out != nil {
+		t.Fatalf("got %v, want nil", out)
+	}
+	l := NewRecordLog()
+	if l.Cursor().Next() != nil {
+		t.Fatal("empty log cursor should yield nil")
+	}
+}

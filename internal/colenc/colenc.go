@@ -1,0 +1,363 @@
+// Package colenc holds the bit-level column codecs behind CLASP's
+// compressed storage: a little-endian bit writer/reader, zigzag varints,
+// a delta-of-delta timestamp codec, and a Gorilla-lineage XOR float codec
+// (Pelkonen et al., "Gorilla: A Fast, Scalable, In-Memory Time Series
+// Database", VLDB 2015).
+//
+// Both the tsdb sealed-block format and the analysis record log encode
+// their columns with these primitives. Every codec is lossless: decode
+// reproduces the input bit-for-bit, including NaN payloads, signed zeros,
+// infinities and denormals (floats travel as raw IEEE-754 bit patterns)
+// and pre-epoch timestamps (deltas are zigzag-coded signed integers).
+package colenc
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// --- Bit writer ----------------------------------------------------------------
+
+// BitWriter appends MSB-first bit runs to a byte buffer.
+type BitWriter struct {
+	buf  []byte
+	free uint8 // unused low bits in the last byte (0 when buf ends on a byte boundary)
+}
+
+// NewBitWriter returns a writer appending to buf (may be nil).
+func NewBitWriter(buf []byte) *BitWriter {
+	return &BitWriter{buf: buf}
+}
+
+// WriteBit appends one bit.
+func (w *BitWriter) WriteBit(bit uint64) {
+	if w.free == 0 {
+		w.buf = append(w.buf, 0)
+		w.free = 8
+	}
+	w.free--
+	if bit != 0 {
+		w.buf[len(w.buf)-1] |= 1 << w.free
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for n > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := uint(w.free)
+		if take > n {
+			take = n
+		}
+		chunk := (v >> (n - take)) & ((1 << take) - 1)
+		w.free -= uint8(take)
+		w.buf[len(w.buf)-1] |= byte(chunk << w.free)
+		n -= take
+	}
+}
+
+// Bytes returns the encoded buffer. Trailing unused bits are zero.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// --- Bit reader ----------------------------------------------------------------
+
+// BitReader consumes MSB-first bit runs from a byte buffer.
+type BitReader struct {
+	buf []byte
+	pos int   // next byte
+	rem uint8 // unread low bits of buf[pos-1]... actually of current byte
+	cur byte
+	err error
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader {
+	return &BitReader{buf: buf}
+}
+
+// Err reports whether the reader ran past the end of its buffer.
+func (r *BitReader) Err() error { return r.err }
+
+// ReadBit reads one bit (0 or 1).
+func (r *BitReader) ReadBit() uint64 {
+	if r.rem == 0 {
+		if r.pos >= len(r.buf) {
+			if r.err == nil {
+				r.err = fmt.Errorf("colenc: bit reader overrun at byte %d", r.pos)
+			}
+			return 0
+		}
+		r.cur = r.buf[r.pos]
+		r.pos++
+		r.rem = 8
+	}
+	r.rem--
+	return uint64(r.cur>>r.rem) & 1
+}
+
+// ReadBits reads n bits (n in [0, 64]), most significant first.
+func (r *BitReader) ReadBits(n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		if r.rem == 0 {
+			if r.pos >= len(r.buf) {
+				if r.err == nil {
+					r.err = fmt.Errorf("colenc: bit reader overrun at byte %d", r.pos)
+				}
+				return 0
+			}
+			r.cur = r.buf[r.pos]
+			r.pos++
+			r.rem = 8
+		}
+		take := uint(r.rem)
+		if take > n {
+			take = n
+		}
+		r.rem -= uint8(take)
+		v = v<<take | uint64(r.cur>>r.rem)&((1<<take)-1)
+		n -= take
+	}
+	return v
+}
+
+// --- Varints -------------------------------------------------------------------
+
+// Zigzag maps a signed integer onto an unsigned one with small absolute
+// values staying small (the protobuf sint encoding).
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// AppendUvarint appends a LEB128 varint.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// AppendVarint appends a zigzag-coded signed varint.
+func AppendVarint(buf []byte, v int64) []byte {
+	return AppendUvarint(buf, Zigzag(v))
+}
+
+// Uvarint decodes a LEB128 varint from buf, returning the value and the
+// number of bytes consumed (0 on truncated input).
+func Uvarint(buf []byte) (uint64, int) {
+	var v uint64
+	var shift uint
+	for i, b := range buf {
+		if b < 0x80 {
+			if i > 9 || i == 9 && b > 1 {
+				return 0, 0 // overflow
+			}
+			return v | uint64(b)<<shift, i + 1
+		}
+		v |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, 0
+}
+
+// Varint decodes a zigzag-coded signed varint.
+func Varint(buf []byte) (int64, int) {
+	u, n := Uvarint(buf)
+	return Unzigzag(u), n
+}
+
+// --- Timestamp column: delta-of-delta varints -----------------------------------
+
+// AppendTimes appends a delta-of-delta varint encoding of ts (int64
+// nanoseconds, arbitrary sign and order) to buf. The first value is stored
+// as a zigzag varint, the second as a zigzag delta, and the rest as zigzag
+// second differences — a constant-cadence series (hourly campaign samples)
+// costs one byte per timestamp after the first two.
+func AppendTimes(buf []byte, ts []int64) []byte {
+	if len(ts) == 0 {
+		return buf
+	}
+	buf = AppendVarint(buf, ts[0])
+	if len(ts) == 1 {
+		return buf
+	}
+	delta := ts[1] - ts[0]
+	buf = AppendVarint(buf, delta)
+	for i := 2; i < len(ts); i++ {
+		d := ts[i] - ts[i-1]
+		buf = AppendVarint(buf, d-delta)
+		delta = d
+	}
+	return buf
+}
+
+// DecodeTimes decodes n timestamps appended by AppendTimes into dst
+// (resliced to length n) and returns dst plus the bytes consumed.
+func DecodeTimes(dst []int64, buf []byte, n int) ([]int64, int, error) {
+	dst = dst[:0]
+	if n == 0 {
+		return dst, 0, nil
+	}
+	off := 0
+	v, k := Varint(buf)
+	if k == 0 {
+		return nil, 0, fmt.Errorf("colenc: truncated timestamp column")
+	}
+	off += k
+	dst = append(dst, v)
+	if n == 1 {
+		return dst, off, nil
+	}
+	delta, k := Varint(buf[off:])
+	if k == 0 {
+		return nil, 0, fmt.Errorf("colenc: truncated timestamp column")
+	}
+	off += k
+	v += delta
+	dst = append(dst, v)
+	for i := 2; i < n; i++ {
+		dd, k := Varint(buf[off:])
+		if k == 0 {
+			return nil, 0, fmt.Errorf("colenc: truncated timestamp column")
+		}
+		off += k
+		delta += dd
+		v += delta
+		dst = append(dst, v)
+	}
+	return dst, off, nil
+}
+
+// --- Float column: Gorilla XOR --------------------------------------------------
+
+// FloatEncoder XOR-compresses a float column into a BitWriter. The scheme
+// is the Gorilla paper's: a repeated value is one bit; otherwise the XOR
+// with the previous value is stored either inside the previous leading/
+// trailing-zero window ('10' prefix) or with a fresh window ('11' prefix,
+// 6 bits of leading-zero count, 6 bits of significant-bit count). Values
+// are raw IEEE-754 bit patterns, so the column is lossless for every
+// float64 including NaN payloads.
+type FloatEncoder struct {
+	w        *BitWriter
+	prev     uint64
+	leading  uint8
+	trailing uint8
+	first    bool
+}
+
+// NewFloatEncoder returns an encoder writing to w.
+func NewFloatEncoder(w *BitWriter) *FloatEncoder {
+	return &FloatEncoder{w: w, first: true, leading: 0xff}
+}
+
+// Write appends one value.
+func (e *FloatEncoder) Write(f float64) {
+	v := math.Float64bits(f)
+	if e.first {
+		e.first = false
+		e.w.WriteBits(v, 64)
+		e.prev = v
+		return
+	}
+	xor := v ^ e.prev
+	e.prev = v
+	if xor == 0 {
+		e.w.WriteBit(0)
+		return
+	}
+	e.w.WriteBit(1)
+	leading := uint8(bits.LeadingZeros64(xor))
+	trailing := uint8(bits.TrailingZeros64(xor))
+	// 6 bits of leading-zero count caps at 63; clamping only costs
+	// compression, never correctness.
+	if leading > 63 {
+		leading = 63
+	}
+	if e.leading != 0xff && leading >= e.leading && trailing >= e.trailing {
+		// Fits the previous window: '0' + the window's significant bits.
+		e.w.WriteBit(0)
+		e.w.WriteBits(xor>>e.trailing, uint(64-e.leading-e.trailing))
+		return
+	}
+	e.leading, e.trailing = leading, trailing
+	sig := 64 - leading - trailing
+	e.w.WriteBit(1)
+	e.w.WriteBits(uint64(leading), 6)
+	// sig is in [1, 64]; store sig-1 in 6 bits.
+	e.w.WriteBits(uint64(sig-1), 6)
+	e.w.WriteBits(xor>>trailing, uint(sig))
+}
+
+// FloatDecoder decodes a column written by FloatEncoder.
+type FloatDecoder struct {
+	r        *BitReader
+	prev     uint64
+	leading  uint8
+	trailing uint8
+	first    bool
+}
+
+// NewFloatDecoder returns a decoder reading from r.
+func NewFloatDecoder(r *BitReader) *FloatDecoder {
+	return &FloatDecoder{r: r, first: true}
+}
+
+// Read decodes the next value.
+func (d *FloatDecoder) Read() float64 {
+	if d.first {
+		d.first = false
+		d.prev = d.r.ReadBits(64)
+		return math.Float64frombits(d.prev)
+	}
+	if d.r.ReadBit() == 0 {
+		return math.Float64frombits(d.prev)
+	}
+	if d.r.ReadBit() == 1 {
+		d.leading = uint8(d.r.ReadBits(6))
+		d.trailing = 64 - d.leading - uint8(d.r.ReadBits(6)) - 1
+	}
+	sig := 64 - d.leading - d.trailing
+	xor := d.r.ReadBits(uint(sig)) << d.trailing
+	d.prev ^= xor
+	return math.Float64frombits(d.prev)
+}
+
+// AppendFloats appends an XOR-compressed float column (the values of one
+// field, in order) to buf as a self-contained byte run: a uvarint byte
+// length followed by the bit stream.
+func AppendFloats(buf []byte, vals []float64) []byte {
+	w := NewBitWriter(nil)
+	enc := NewFloatEncoder(w)
+	for _, v := range vals {
+		enc.Write(v)
+	}
+	body := w.Bytes()
+	buf = AppendUvarint(buf, uint64(len(body)))
+	return append(buf, body...)
+}
+
+// DecodeFloats decodes n values appended by AppendFloats into dst
+// (resliced) and returns dst plus the bytes consumed.
+func DecodeFloats(dst []float64, buf []byte, n int) ([]float64, int, error) {
+	ln, k := Uvarint(buf)
+	if k == 0 || uint64(len(buf)-k) < ln {
+		return nil, 0, fmt.Errorf("colenc: truncated float column")
+	}
+	r := NewBitReader(buf[k : k+int(ln)])
+	dec := NewFloatDecoder(r)
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, dec.Read())
+	}
+	if err := r.Err(); err != nil {
+		return nil, 0, err
+	}
+	return dst, k + int(ln), nil
+}

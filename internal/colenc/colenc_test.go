@@ -1,0 +1,202 @@
+package colenc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		type run struct {
+			v    uint64
+			bits uint
+		}
+		runs := make([]run, 0, n)
+		w := NewBitWriter(nil)
+		for i := 0; i < n; i++ {
+			bits := uint(rng.Intn(64) + 1)
+			v := rng.Uint64()
+			if bits < 64 {
+				v &= 1<<bits - 1
+			}
+			runs = append(runs, run{v, bits})
+			w.WriteBits(v, bits)
+		}
+		r := NewBitReader(w.Bytes())
+		for i, ru := range runs {
+			if got := r.ReadBits(ru.bits); got != ru.v {
+				t.Fatalf("trial %d run %d: got %#x, want %#x (%d bits)", trial, i, got, ru.v, ru.bits)
+			}
+		}
+		if r.Err() != nil {
+			t.Fatalf("trial %d: reader error: %v", trial, r.Err())
+		}
+	}
+}
+
+func TestBitReaderOverrun(t *testing.T) {
+	r := NewBitReader([]byte{0xff})
+	r.ReadBits(8)
+	if r.Err() != nil {
+		t.Fatalf("unexpected error inside buffer: %v", r.Err())
+	}
+	r.ReadBit()
+	if r.Err() == nil {
+		t.Fatal("expected overrun error")
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 63, -64, 1 << 20, -(1 << 40), math.MaxInt64, math.MinInt64}
+	for _, v := range vals {
+		buf := AppendVarint(nil, v)
+		got, n := Varint(buf)
+		if got != v || n != len(buf) {
+			t.Fatalf("varint %d: got %d (n=%d, len=%d)", v, got, n, len(buf))
+		}
+	}
+	if _, n := Uvarint(nil); n != 0 {
+		t.Fatal("empty buffer should not decode")
+	}
+	if _, n := Uvarint([]byte{0x80, 0x80}); n != 0 {
+		t.Fatal("truncated varint should not decode")
+	}
+}
+
+// TestTimesRoundTrip pins the delta-of-delta codec on the shapes the
+// campaign produces (hourly cadence) and the adversarial ones (pre-epoch,
+// unsorted, duplicate, min/max deltas).
+func TestTimesRoundTrip(t *testing.T) {
+	cases := [][]int64{
+		nil,
+		{0},
+		{-1},
+		{1588291200e9}, // 2020-05-01
+		{5, 5, 5, 5},
+		{-86400e9, 0, 86400e9},
+		{10, 5, 7, 7, -100, 3},
+	}
+	hourly := make([]int64, 720)
+	for i := range hourly {
+		hourly[i] = 1588291200e9 + int64(i)*3600e9
+	}
+	cases = append(cases, hourly)
+	for ci, ts := range cases {
+		buf := AppendTimes(nil, ts)
+		got, n, err := DecodeTimes(nil, buf, len(ts))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("case %d: consumed %d of %d bytes", ci, n, len(buf))
+		}
+		if len(got) != len(ts) {
+			t.Fatalf("case %d: got %d values, want %d", ci, len(got), len(ts))
+		}
+		for i := range ts {
+			if got[i] != ts[i] {
+				t.Fatalf("case %d: value %d = %d, want %d", ci, i, got[i], ts[i])
+			}
+		}
+	}
+	// Hourly cadence must cost ~1 byte per timestamp after the first two.
+	buf := AppendTimes(nil, hourly)
+	if len(buf) > len(hourly)+16 {
+		t.Fatalf("hourly encoding too large: %d bytes for %d timestamps", len(buf), len(hourly))
+	}
+}
+
+func TestTimesQuick(t *testing.T) {
+	f := func(ts []int64) bool {
+		buf := AppendTimes(nil, ts)
+		got, _, err := DecodeTimes(nil, buf, len(ts))
+		if err != nil || len(got) != len(ts) {
+			return false
+		}
+		for i := range ts {
+			if got[i] != ts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// floatBitsEqual compares by bit pattern so NaN payloads count.
+func floatBitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFloatsRoundTrip covers the IEEE-754 corners the sealed-block purity
+// invariant depends on: NaNs with distinct payloads, infinities, signed
+// zeros, denormals, constants, and monotone ramps.
+func TestFloatsRoundTrip(t *testing.T) {
+	nanA := math.Float64frombits(0x7ff8000000000001)
+	nanB := math.Float64frombits(0xfff0000000000042)
+	cases := [][]float64{
+		nil,
+		{0},
+		{math.NaN(), nanA, nanB, math.NaN()},
+		{math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1)},
+		{5e-324, 2.2250738585072009e-308, -5e-324}, // denormals
+		{42.5, 42.5, 42.5, 42.5},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{123.456, -123.456, 123.456},
+		{math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64},
+	}
+	for ci, vals := range cases {
+		buf := AppendFloats(nil, vals)
+		got, n, err := DecodeFloats(nil, buf, len(vals))
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("case %d: consumed %d of %d bytes", ci, n, len(buf))
+		}
+		if !floatBitsEqual(got, vals) {
+			t.Fatalf("case %d: round trip drifted: got %v, want %v", ci, got, vals)
+		}
+	}
+}
+
+func TestFloatsQuick(t *testing.T) {
+	f := func(raw []uint64) bool {
+		vals := make([]float64, len(raw))
+		for i, u := range raw {
+			vals[i] = math.Float64frombits(u)
+		}
+		buf := AppendFloats(nil, vals)
+		got, _, err := DecodeFloats(nil, buf, len(vals))
+		return err == nil && floatBitsEqual(got, vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstantColumnCompresses(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 250.0
+	}
+	buf := AppendFloats(nil, vals)
+	// First value 8 bytes + 1 bit per repeat + length prefix.
+	if len(buf) > 8+1000/8+4 {
+		t.Fatalf("constant column too large: %d bytes for %d values", len(buf), len(vals))
+	}
+}

@@ -1,0 +1,82 @@
+package congestion
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// partitionFingerprint reduces a partition to its observable outputs.
+func partitionFingerprint(p *Partition, det *Detector) map[string]any {
+	congested, total := p.DayTally(det.H, det.MinSamples)
+	events, hours := p.HourTally(det.H, det.MinSamples)
+	return map[string]any{
+		"days":      p.Days(det.MinSamples),
+		"dayTally":  []int{congested, total},
+		"hourTally": []int{events, hours},
+		"medians":   p.DayMedians(),
+		"events":    det.EventsIn(p),
+	}
+}
+
+// TestPartitionBuilderMatchesNewPartition pins that chunk-at-a-time builds
+// (the cursor path) produce partitions indistinguishable from the one-shot
+// split, for sorted and unsorted input and any chunking.
+func TestPartitionBuilderMatchesNewPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	det := &Detector{H: 0.5, MinSamples: 4}
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(400)
+		samples := make([]Sample, n)
+		for i := range samples {
+			at := base.Add(time.Duration(i) * time.Hour)
+			if trial%3 == 2 { // unsorted variant
+				at = base.Add(time.Duration(rng.Intn(600)) * time.Hour)
+			}
+			samples[i] = Sample{Time: at, Mbps: rng.Float64() * 500}
+		}
+		want := partitionFingerprint(NewPartition(Series{PairID: "p", Samples: samples}), det)
+
+		b := NewPartitionBuilder("p")
+		for off := 0; off < n; {
+			sz := rng.Intn(64) + 1
+			if off+sz > n {
+				sz = n - off
+			}
+			b.Add(samples[off : off+sz])
+			off += sz
+		}
+		if b.Len() != n {
+			t.Fatalf("trial %d: builder Len = %d, want %d", trial, b.Len(), n)
+		}
+		got := partitionFingerprint(b.Finish(), det)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d): chunked partition differs from one-shot", trial, n)
+		}
+	}
+}
+
+// TestPartitionBuilderCopiesChunks pins that Add does not retain the
+// caller's buffer — cursor batches are reused between Next calls.
+func TestPartitionBuilderCopiesChunks(t *testing.T) {
+	base := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	buf := make([]Sample, 4)
+	b := NewPartitionBuilder("p")
+	for i := range buf {
+		buf[i] = Sample{Time: base.Add(time.Duration(i) * time.Hour), Mbps: 100}
+	}
+	b.Add(buf)
+	for i := range buf { // simulate cursor batch reuse
+		buf[i] = Sample{Time: base.Add(time.Duration(100+i) * time.Hour), Mbps: -1}
+	}
+	b.Add(buf)
+	p := b.Finish()
+	if p.samples[0].Mbps != 100 {
+		t.Fatal("builder aliased the first chunk")
+	}
+	if len(p.samples) != 8 {
+		t.Fatalf("got %d samples, want 8", len(p.samples))
+	}
+}

@@ -41,57 +41,113 @@ type Partition struct {
 
 // NewPartition splits a series into its per-day summary once. All days
 // are retained regardless of sample count; qualification thresholds are
-// applied by the accessors so one partition serves any minSamples.
+// applied by the accessors so one partition serves any minSamples. The
+// samples slice is referenced, not copied.
 func NewPartition(s Series) *Partition {
+	b := PartitionBuilder{pairID: s.PairID}
+	b.add(s.Samples, false)
+	return b.Finish()
+}
+
+// PartitionBuilder assembles a Partition from sample chunks — the
+// streaming path, where a series arrives from a cursor one block at a time
+// rather than as one contiguous buffer. Add copies its chunk (cursor
+// batches are reused), and the per-day summary is extended incrementally
+// while chunks stay time-sorted, so building from N chunks does the same
+// single pass as NewPartition on the concatenation. Out-of-order input is
+// detected on the fly and re-split at Finish, exactly like NewPartition's
+// map fallback.
+type PartitionBuilder struct {
+	pairID   string
+	samples  []Sample
+	days     []Day
+	dayOf    []int32
+	unsorted bool
+}
+
+// NewPartitionBuilder starts an empty builder for one pair.
+func NewPartitionBuilder(pairID string) *PartitionBuilder {
+	return &PartitionBuilder{pairID: pairID}
+}
+
+// Add appends a chunk of samples (copied). Chunks are concatenated in call
+// order; time order across and within chunks is not required, only cheaper.
+func (b *PartitionBuilder) Add(chunk []Sample) { b.add(chunk, true) }
+
+// Len returns the number of samples added so far.
+func (b *PartitionBuilder) Len() int { return len(b.samples) }
+
+// add extends the day decomposition with chunk; NewPartition passes
+// copy=false to share its caller's backing array for the single-chunk case.
+func (b *PartitionBuilder) add(chunk []Sample, copyChunk bool) {
+	if len(chunk) == 0 {
+		return
+	}
+	base := len(b.samples)
+	if copyChunk || base > 0 {
+		b.samples = append(b.samples, chunk...)
+	} else {
+		b.samples = chunk
+	}
+	if b.unsorted {
+		return // day build deferred to Finish's re-split
+	}
+	if b.dayOf == nil {
+		// Size for what we have so far: exact for the one-shot NewPartition
+		// path, a head start for streamed chunks. Grouped campaign samples
+		// are hourly, so days run ~n/24; n/16+1 leaves slack without waste.
+		b.dayOf = make([]int32, 0, len(b.samples))
+		b.days = make([]Day, 0, len(b.samples)/16+1)
+	}
+	for i := range chunk {
+		smp := &chunk[i]
+		d := dayIndex(smp.Time)
+		if len(b.days) == 0 || d > b.days[len(b.days)-1].Day {
+			b.days = append(b.days, Day{PairID: b.pairID, Day: d, Tmax: smp.Mbps, Tmin: smp.Mbps, Samples: 1})
+		} else if d == b.days[len(b.days)-1].Day {
+			day := &b.days[len(b.days)-1]
+			if smp.Mbps > day.Tmax {
+				day.Tmax = smp.Mbps
+			}
+			if smp.Mbps < day.Tmin {
+				day.Tmin = smp.Mbps
+			}
+			day.Samples++
+		} else {
+			// Out of order: abandon the incremental build, Finish re-splits.
+			b.unsorted = true
+			b.days, b.dayOf = nil, nil
+			return
+		}
+		b.dayOf = append(b.dayOf, int32(len(b.days)-1))
+	}
+}
+
+// Finish seals the builder into a Partition. The builder must not be used
+// afterwards.
+func (b *PartitionBuilder) Finish() *Partition {
 	obsPartitions.Inc()
-	p := &Partition{pairID: s.PairID, samples: s.Samples}
-	n := len(s.Samples)
+	p := &Partition{pairID: b.pairID, samples: b.samples}
+	n := len(b.samples)
 	if n == 0 {
 		return p
 	}
-	p.dayOf = make([]int32, n)
-	// Grouped campaign series arrive time-sorted, so day indices are
-	// non-decreasing and the split is a single sequential pass. Fall
-	// back to a map for arbitrary input.
-	sorted := true
-	prev := dayIndex(s.Samples[0].Time)
-	for i := 1; i < n; i++ {
-		d := dayIndex(s.Samples[i].Time)
-		if d < prev {
-			sorted = false
-			break
-		}
-		prev = d
-	}
-	if sorted {
-		p.days = make([]Day, 0, n/16+1)
-		for i := range s.Samples {
-			smp := &s.Samples[i]
-			d := dayIndex(smp.Time)
-			if len(p.days) == 0 || d != p.days[len(p.days)-1].Day {
-				p.days = append(p.days, Day{PairID: s.PairID, Day: d, Tmax: smp.Mbps, Tmin: smp.Mbps, Samples: 1})
-			} else {
-				day := &p.days[len(p.days)-1]
-				if smp.Mbps > day.Tmax {
-					day.Tmax = smp.Mbps
-				}
-				if smp.Mbps < day.Tmin {
-					day.Tmin = smp.Mbps
-				}
-				day.Samples++
-			}
-			p.dayOf[i] = int32(len(p.days) - 1)
-		}
+	if !b.unsorted {
+		p.days, p.dayOf = b.days, b.dayOf
 	} else {
+		// Arbitrary-order input: split through a day map, then re-establish
+		// the ascending day order SplitDays promises and remap the
+		// per-sample day indices to the sorted positions.
+		p.dayOf = make([]int32, n)
 		idx := make(map[int]int32)
-		for i := range s.Samples {
-			smp := &s.Samples[i]
+		for i := range p.samples {
+			smp := &p.samples[i]
 			d := dayIndex(smp.Time)
 			di, ok := idx[d]
 			if !ok {
 				di = int32(len(p.days))
 				idx[d] = di
-				p.days = append(p.days, Day{PairID: s.PairID, Day: d, Tmax: smp.Mbps, Tmin: smp.Mbps, Samples: 1})
+				p.days = append(p.days, Day{PairID: b.pairID, Day: d, Tmax: smp.Mbps, Tmin: smp.Mbps, Samples: 1})
 			} else {
 				day := &p.days[di]
 				if smp.Mbps > day.Tmax {
@@ -104,8 +160,6 @@ func NewPartition(s Series) *Partition {
 			}
 			p.dayOf[i] = di
 		}
-		// Re-establish the ascending day order SplitDays promises, and
-		// remap the per-sample day indices to the sorted positions.
 		perm := make([]int32, len(p.days))
 		for i := range perm {
 			perm[i] = int32(i)

@@ -81,6 +81,19 @@ type Options struct {
 	// TracerouteEvery runs follow-up traceroutes per server every N
 	// campaign days (0 disables).
 	TracerouteEvery int
+	// MaxMemoryMB budgets the resident footprint of campaign records
+	// (0 = unbounded). A campaign whose raw record slice would exceed half
+	// the budget streams its records through a compressed columnar log
+	// (analysis.RecordLog) and spills the sealed blocks to disk, so the
+	// in-memory footprint is bounded by the log's block size rather than
+	// the record count. Analyses read the log back block-at-a-time through
+	// CampaignResult.Cursor; every report is byte-identical to the
+	// in-memory path.
+	MaxMemoryMB int
+	// SpillDir is where streaming campaigns place their spilled record
+	// logs ("" = the system temp dir). Spill files are unlinked at
+	// creation, so they vanish when the process exits no matter how.
+	SpillDir string
 	// Substrate injects a pre-built topology and router instead of
 	// generating them — the fleet path, where concurrent engines share one
 	// warmed substrate. The substrate's topology config must match what
@@ -221,12 +234,70 @@ func (c *CLASP) SelectDifferentialServers(region string, minSamples int) ([]sele
 }
 
 // CampaignResult bundles a campaign's records with its selection and
-// orchestration report.
+// orchestration report. Exactly one of Records and Log is populated:
+// Records for in-memory campaigns (the default), Log when the campaign
+// exceeded the Options.MaxMemoryMB budget and streamed its records into a
+// compressed, disk-spilled columnar log. Analyses should read through
+// Cursor, which hides the difference.
 type CampaignResult struct {
 	Region   string
 	Records  []analysis.Measurement
+	Log      *analysis.RecordLog
 	Report   *orchestrator.Report
 	Selected []*topology.Server
+}
+
+// Cursor returns a fresh replayable cursor over the campaign's records in
+// delivery order. Cursors are independent — concurrent analysis workers
+// each open their own — and identical for the in-memory and streaming
+// representations (the record log decodes losslessly).
+func (r *CampaignResult) Cursor() analysis.Cursor {
+	if r.Log != nil {
+		return r.Log.Cursor()
+	}
+	return analysis.NewSliceCursor(r.Records)
+}
+
+// NumRecords returns the number of measurement records the campaign
+// produced, whichever representation holds them.
+func (r *CampaignResult) NumRecords() int {
+	if r.Log != nil {
+		return r.Log.Len()
+	}
+	return len(r.Records)
+}
+
+// FirstRecord returns the first delivered record (zero value when empty).
+func (r *CampaignResult) FirstRecord() analysis.Measurement {
+	if r.Log != nil {
+		return r.Log.First()
+	}
+	if len(r.Records) == 0 {
+		return analysis.Measurement{}
+	}
+	return r.Records[0]
+}
+
+// LastRecord returns the last delivered record (zero value when empty).
+func (r *CampaignResult) LastRecord() analysis.Measurement {
+	if r.Log != nil {
+		return r.Log.Last()
+	}
+	if len(r.Records) == 0 {
+		return analysis.Measurement{}
+	}
+	return r.Records[len(r.Records)-1]
+}
+
+// Close releases the spill file behind a streaming campaign's record log;
+// it is a no-op for in-memory results. Long-lived processes that discard
+// results should call it; short-lived CLI runs may rely on process exit
+// (spill files are unlinked at creation).
+func (r *CampaignResult) Close() error {
+	if r.Log != nil {
+		return r.Log.Close()
+	}
+	return nil
 }
 
 // RunTopologyCampaign selects servers with the topology-based method and
@@ -274,15 +345,33 @@ func (c *CLASP) RunDifferentialCampaign(region string, days, minSamples int) (*C
 // to keep memory proportional to one campaign.
 const storeIndexLimit = 250_000
 
+// measurementBytes is the in-memory size of one analysis.Measurement,
+// used to estimate whether a campaign's record slice fits the memory
+// budget before running it.
+const measurementBytes = 88
+
 func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []bgp.Tier, days int) (*CampaignResult, error) {
 	prof, err := faults.Named(c.Opts.FaultProfile)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	orch := orchestrator.New(c.Sim, c.Cloud, c.Bucket)
-	sink := &orchestrator.SliceSink{}
+	// est is the record-count upper bound the orchestrator plans for; the
+	// same estimate gates both the interactive store index and the
+	// streaming decision, so the choice is made before any record exists.
+	est := len(servers) * days * 24 * 2 * len(tiers)
+	var slice *orchestrator.SliceSink
+	var logSink *orchestrator.LogSink
+	var sink orchestrator.Sink
+	if budget := int64(c.Opts.MaxMemoryMB) << 20; budget > 0 && int64(est)*measurementBytes > budget/2 {
+		logSink = &orchestrator.LogSink{Log: analysis.NewRecordLog()}
+		sink = logSink
+	} else {
+		slice = &orchestrator.SliceSink{}
+		sink = slice
+	}
 	sinks := orchestrator.MultiSink{sink}
-	if len(servers)*days*24*2*len(tiers) <= storeIndexLimit {
+	if est <= storeIndexLimit {
 		sinks = append(sinks, &orchestrator.StoreSink{Store: c.Store})
 	}
 	rep, err := orch.Run(orchestrator.Config{
@@ -300,10 +389,21 @@ func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []b
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign in %s: %w", region, err)
 	}
-	return &CampaignResult{
+	res := &CampaignResult{
 		Region:   region,
-		Records:  sink.Out,
 		Report:   rep,
 		Selected: servers,
-	}, nil
+	}
+	if logSink != nil {
+		// Streaming mode holds only compressed blocks; spilling them moves
+		// even those to disk, so the result's resident footprint is a few
+		// cursor batches regardless of campaign size.
+		if err := logSink.Log.Spill(c.Opts.SpillDir); err != nil {
+			return nil, fmt.Errorf("core: spilling campaign records in %s: %w", region, err)
+		}
+		res.Log = logSink.Log
+	} else {
+		res.Records = slice.Out
+	}
+	return res, nil
 }

@@ -138,7 +138,7 @@ func Fig2(results map[string]*CampaignResult, hs []float64, parallelism int) []F
 	out := make([]Fig2Series, len(regions))
 	analysis.ParallelFor(parallelism, len(regions), func(i int) {
 		region := regions[i]
-		series := analysis.GroupSeries(results[region].Records, netsim.Download, bgp.Premium)
+		series := analysis.GroupSeriesCursor(results[region].Cursor(), netsim.Download, bgp.Premium)
 		parts := congestion.Partitions(series)
 		s := Fig2Series{
 			Region: region,
@@ -179,7 +179,7 @@ func (c *CLASP) Fig3(result *CampaignResult) (*Fig3Data, error) {
 		return nil, fmt.Errorf("core: no Cox Las Vegas server in the topology")
 	}
 	var coxSeries *congestion.Series
-	for _, sr := range analysis.GroupSeries(result.Records, netsim.Download, bgp.Premium) {
+	for _, sr := range analysis.GroupSeriesCursor(result.Cursor(), netsim.Download, bgp.Premium) {
 		sr := sr
 		if sr.PairID == fmt.Sprintf("%s/%d/premium/download", result.Region, cox.ID) {
 			coxSeries = &sr
@@ -190,9 +190,9 @@ func (c *CLASP) Fig3(result *CampaignResult) (*Fig3Data, error) {
 		// The pair was not part of the selection (the paper hand-picked
 		// it); measure it directly over the campaign window.
 		days := 30
-		if len(result.Records) > 0 {
-			first := result.Records[0].Time
-			last := result.Records[len(result.Records)-1].Time
+		if result.NumRecords() > 0 {
+			first := result.FirstRecord().Time
+			last := result.LastRecord().Time
 			if d := int(last.Sub(first).Hours()/24) + 1; d > 0 {
 				days = d
 			}
@@ -263,13 +263,8 @@ type Fig4Data struct {
 
 // Fig4 builds a panel from campaign records for one tier.
 func Fig4(result *CampaignResult, tier bgp.Tier) (*Fig4Data, error) {
-	var filtered []analysis.Measurement
-	for _, m := range result.Records {
-		if m.Tier == tier {
-			filtered = append(filtered, m)
-		}
-	}
-	points := analysis.PerfPoints(filtered)
+	points := analysis.PerfPointsCursor(analysis.NewFilterCursor(result.Cursor(),
+		func(m *analysis.Measurement) bool { return m.Tier == tier }))
 	if len(points) == 0 {
 		return nil, fmt.Errorf("core: no perf points for %s/%s", result.Region, tier)
 	}
@@ -316,7 +311,7 @@ func Fig5(result *CampaignResult, selected []selection.DiffSelected) (*Fig5Summa
 	}
 	out := &Fig5Summary{Region: result.Region}
 	for _, metric := range []analysis.Metric{analysis.MetricDownload, analysis.MetricUpload, analysis.MetricLatency} {
-		deltas := analysis.TierDeltas(result.Records, result.Region, metric)
+		deltas := analysis.TierDeltasCursor(result.Cursor(), result.Region, metric)
 		if metric == analysis.MetricDownload {
 			out.StdHigherDownload = analysis.FractionStandardHigher(deltas)
 			out.Within50 = analysis.FractionWithin(deltas, 0.5)
@@ -365,7 +360,7 @@ func (c *CLASP) Fig6(result *CampaignResult, tier bgp.Tier, topN int) []Fig6Line
 		topN = 10
 	}
 	det := congestion.NewDetector()
-	series := analysis.GroupSeriesWithServer(result.Records, netsim.Download, tier)
+	series := analysis.GroupSeriesWithServerCursor(result.Cursor(), netsim.Download, tier)
 	type cand struct {
 		line   Fig6Line
 		events int
@@ -448,7 +443,7 @@ func (c *CLASP) Fig7(region string, topo *selection.TopoResult, diff []selection
 // event) and groups by business type.
 func (c *CLASP) Fig8(result *CampaignResult, tier bgp.Tier) []analysis.Fig8Row {
 	det := congestion.NewDetector()
-	series := analysis.GroupSeriesWithServer(result.Records, netsim.Download, tier)
+	series := analysis.GroupSeriesWithServerCursor(result.Cursor(), netsim.Download, tier)
 	congested := make(map[int]bool)
 	var ids []int
 	for _, sw := range series {
@@ -500,7 +495,7 @@ func (c *CLASP) ComputeHeadlines(topoResults map[string]*CampaignResult, diff *C
 	analysis.ParallelFor(c.Opts.Parallelism, len(regions), func(i int) {
 		res := topoResults[regions[i]]
 		t := &tallies[i]
-		for _, sw := range analysis.GroupSeriesWithServer(res.Records, netsim.Download, bgp.Premium) {
+		for _, sw := range analysis.GroupSeriesWithServerCursor(res.Cursor(), netsim.Download, bgp.Premium) {
 			part := congestion.NewPartition(sw.Series)
 			ev, hrs := part.HourTally(det.H, det.MinSamples)
 			t.hourEvents += ev
@@ -512,7 +507,7 @@ func (c *CLASP) ComputeHeadlines(topoResults map[string]*CampaignResult, diff *C
 				}
 			}
 		}
-		for _, p := range analysis.PerfPoints(res.Records) {
+		for _, p := range analysis.PerfPointsCursor(res.Cursor()) {
 			t.perfPoints++
 			if p.P95Down >= 200 && p.P95Down <= 600 {
 				t.perfIn200600++
@@ -538,7 +533,7 @@ func (c *CLASP) ComputeHeadlines(topoResults map[string]*CampaignResult, diff *C
 		h.P95DownIn200600 = float64(sum.perfIn200600) / float64(sum.perfPoints)
 	}
 	if diff != nil {
-		deltas := analysis.TierDeltas(diff.Records, diff.Region, analysis.MetricDownload)
+		deltas := analysis.TierDeltasCursor(diff.Cursor(), diff.Region, analysis.MetricDownload)
 		h.StdTierHigherFrac = analysis.FractionStandardHigher(deltas)
 	}
 	return h

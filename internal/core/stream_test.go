@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+)
+
+// newStreamingCLASP builds an instance whose campaigns exceed the memory
+// budget and therefore run through the compressed, disk-spilled record log.
+func newStreamingCLASP(t *testing.T) *CLASP {
+	t.Helper()
+	c, err := New(Options{Seed: 3, Scale: 0.1, MaxMemoryMB: 1, SpillDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestStreamingCampaignIdentical pins the tentpole invariant: a campaign
+// run under a memory budget — records compressed block-at-a-time into a
+// spilled columnar log, analyses reading it back through cursors — produces
+// exactly the results of the unbounded in-memory path.
+func TestStreamingCampaignIdentical(t *testing.T) {
+	mem := newCLASP(t)
+	stream := newStreamingCLASP(t)
+
+	resM, _, err := mem.RunTopologyCampaign("us-west1", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, _, err := stream.RunTopologyCampaign("us-west1", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resS.Close()
+
+	if resM.Log != nil {
+		t.Fatal("unbounded campaign used the record log")
+	}
+	if resS.Log == nil {
+		t.Fatal("budgeted campaign did not stream (raise the campaign size or lower the budget)")
+	}
+	if !resS.Log.Spilled() {
+		t.Fatal("streamed campaign's log was not spilled")
+	}
+	if resS.Records != nil {
+		t.Fatal("streamed campaign also kept a record slice")
+	}
+	if got, want := resS.NumRecords(), resM.NumRecords(); got != want {
+		t.Fatalf("streamed campaign has %d records, in-memory has %d", got, want)
+	}
+	if !reflect.DeepEqual(resS.FirstRecord(), resM.FirstRecord()) ||
+		!reflect.DeepEqual(resS.LastRecord(), resM.LastRecord()) {
+		t.Fatal("first/last record drifted between representations")
+	}
+
+	// The full record sequence replays identically through the cursor
+	// (batch boundaries differ between representations, so flatten both).
+	drain := func(c analysis.Cursor) []analysis.Measurement {
+		var out []analysis.Measurement
+		for b := c.Next(); b != nil; b = c.Next() {
+			out = append(out, b...)
+		}
+		return out
+	}
+	gotRecs, wantRecs := drain(resS.Cursor()), drain(resM.Cursor())
+	if len(gotRecs) != len(wantRecs) {
+		t.Fatalf("streamed cursor yields %d records, in-memory %d", len(gotRecs), len(wantRecs))
+	}
+	for i := range wantRecs {
+		if !reflect.DeepEqual(gotRecs[i], wantRecs[i]) {
+			t.Fatalf("record %d drifted:\n mem: %+v\n log: %+v", i, wantRecs[i], gotRecs[i])
+		}
+	}
+
+	// Every figure derived from the campaign is deeply equal.
+	fig4M, err := Fig4(resM, bgp.Premium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig4S, err := Fig4(resS, bgp.Premium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig4M, fig4S) {
+		t.Error("Fig4 differs between in-memory and streamed campaigns")
+	}
+	if got, want := stream.Fig8(resS, bgp.Premium), mem.Fig8(resM, bgp.Premium); !reflect.DeepEqual(got, want) {
+		t.Error("Fig8 differs between in-memory and streamed campaigns")
+	}
+	fig2M := Fig2(map[string]*CampaignResult{"us-west1": resM}, nil, 1)
+	fig2S := Fig2(map[string]*CampaignResult{"us-west1": resS}, nil, 3)
+	if !reflect.DeepEqual(fig2M, fig2S) {
+		t.Error("Fig2 differs between in-memory and streamed campaigns")
+	}
+	hM := mem.ComputeHeadlines(map[string]*CampaignResult{"us-west1": resM}, nil)
+	hS := stream.ComputeHeadlines(map[string]*CampaignResult{"us-west1": resS}, nil)
+	if hM != hS {
+		t.Errorf("headlines differ: mem %+v stream %+v", hM, hS)
+	}
+}
+
+// TestStreamingDifferentialIdentical covers the two-tier analysis path
+// (tier deltas pair premium/standard records across the stream).
+func TestStreamingDifferentialIdentical(t *testing.T) {
+	mem := newCLASP(t)
+	stream := newStreamingCLASP(t)
+
+	resM, selM, err := mem.RunDifferentialCampaign("europe-west1", 14, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, _, err := stream.RunDifferentialCampaign("europe-west1", 14, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resS.Close()
+	if resS.Log == nil {
+		t.Fatal("budgeted differential campaign did not stream")
+	}
+
+	for _, metric := range []analysis.Metric{analysis.MetricDownload, analysis.MetricUpload, analysis.MetricLatency} {
+		got := analysis.TierDeltasCursor(resS.Cursor(), resS.Region, metric)
+		want := analysis.TierDeltasCursor(resM.Cursor(), resM.Region, metric)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("TierDeltas(%v) differs between representations", metric)
+		}
+	}
+	fig5M, err := Fig5(resM, selM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5S, err := Fig5(resS, selM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fig5M, fig5S) {
+		t.Error("Fig5 differs between in-memory and streamed campaigns")
+	}
+}

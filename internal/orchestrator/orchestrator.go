@@ -147,6 +147,18 @@ func (s *StoreSink) Record(m analysis.Measurement) {
 	})
 }
 
+// LogSink appends records into a columnar RecordLog — the streaming
+// campaign path, where records are compressed block-at-a-time as they
+// arrive instead of accumulating as an 88-byte-struct slice. Like
+// SliceSink it is not safe for concurrent use; wrap it in a LockedSink
+// when sharing it across campaigns.
+type LogSink struct {
+	Log *analysis.RecordLog
+}
+
+// Record implements Sink.
+func (s *LogSink) Record(m analysis.Measurement) { s.Log.Append(m) }
+
 // MultiSink fans records out to several sinks. It holds no state of its
 // own, so it is as safe for concurrent use as its least safe component.
 type MultiSink []Sink

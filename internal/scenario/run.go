@@ -72,6 +72,8 @@ func (r *Runner) Run(w io.Writer, s *Spec) error {
 		FaultProfile:    s.FaultProfile,
 		CaptureEvery:    s.CaptureEvery,
 		TracerouteEvery: s.TracerouteEvery,
+		MaxMemoryMB:     s.MaxMemoryMB,
+		SpillDir:        s.SpillDir,
 		Substrate:       sub,
 	})
 	if err != nil {

@@ -59,6 +59,14 @@ type Spec struct {
 	// traceroutes per server every N days (0 disables).
 	CaptureEvery    int `json:"captureEvery,omitempty"`
 	TracerouteEvery int `json:"tracerouteEvery,omitempty"`
+	// MaxMemoryMB budgets the resident footprint of campaign records
+	// (0 = unbounded). Campaigns exceeding it stream their records through
+	// a compressed, disk-spilled columnar log; the report is byte-identical
+	// either way — the engine's determinism contract extends to storage.
+	MaxMemoryMB int `json:"maxMemoryMB,omitempty"`
+	// SpillDir is where streaming campaigns place their spilled record
+	// logs ("" = the system temp dir).
+	SpillDir string `json:"spillDir,omitempty"`
 	// Campaigns lists measurement campaigns to run, in order.
 	Campaigns []CampaignSpec `json:"campaigns,omitempty"`
 	// Artifacts lists paper artifacts to regenerate after the campaigns
@@ -291,6 +299,9 @@ func (s *Spec) Validate() error {
 	}
 	if s.TracerouteEvery < 0 {
 		bad("tracerouteEvery: must be non-negative, got %d", s.TracerouteEvery)
+	}
+	if s.MaxMemoryMB < 0 {
+		bad("maxMemoryMB: must be non-negative, got %d", s.MaxMemoryMB)
 	}
 	if _, err := faults.Named(s.FaultProfile); err != nil {
 		bad("faultProfile: %q is not a canned profile (have %s)", s.FaultProfile, strings.Join(faults.Names(), ", "))

@@ -24,6 +24,10 @@ type result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"b_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric units (e.g. "bytes/sample" from the
+	// block-compression benchmarks). benchdiff ignores unknown JSON keys, so
+	// records carrying extras stay usable by the regression gate.
+	Extra map[string]float64 `json:"extra,omitempty"`
 
 	BaselineNsPerOp     float64 `json:"baseline_ns_per_op,omitempty"`
 	BaselineBytesPerOp  float64 `json:"baseline_b_per_op,omitempty"`
@@ -131,13 +135,19 @@ func parseBench(r io.Reader) (map[string]result, error) {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				res.NsPerOp = v
 			case "B/op":
 				res.BytesPerOp = v
 			case "allocs/op":
 				res.AllocsPerOp = v
+			default:
+				// Custom b.ReportMetric units ride along verbatim.
+				if res.Extra == nil {
+					res.Extra = map[string]float64{}
+				}
+				res.Extra[unit] = v
 			}
 		}
 		if prev, ok := out[res.Name]; !ok || res.NsPerOp < prev.NsPerOp {

@@ -42,9 +42,9 @@ func run() error {
 	if rep.Tests == 0 {
 		return fmt.Errorf("flaky-vm campaign completed no tests")
 	}
-	if len(res.Records) != rep.Tests {
+	if res.NumRecords() != rep.Tests {
 		return fmt.Errorf("result holds %d records, report says %d tests completed",
-			len(res.Records), rep.Tests)
+			res.NumRecords(), rep.Tests)
 	}
 
 	// The gate is meaningless if nothing fired: flaky-vm at this seed and

@@ -1,0 +1,66 @@
+package tsdb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// benchBlockPoints synthesises one seal-threshold's worth of campaign-shaped
+// points: hourly timestamps and the three speedtest fields, with the loss
+// column mostly the simulator's clean-path constant — the data profile the
+// compression numbers are honest against.
+func benchBlockPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(11))
+	base := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	pts := make([]Point, n)
+	for i := range pts {
+		loss := 3e-7
+		if rng.Intn(20) == 0 {
+			loss = rng.Float64() * 0.05
+		}
+		pts[i] = Point{
+			Time: base.Add(time.Duration(i) * time.Hour),
+			Fields: map[string]float64{
+				"mbps":   250 + 60*rng.Float64(),
+				"rtt_ms": 20 + 10*rng.Float64(),
+				"loss":   loss,
+			},
+		}
+	}
+	return pts
+}
+
+// BenchmarkBlockEncode seals one default-threshold block and reports the
+// encoded footprint per sample (a sample is one Point: timestamp + three
+// fields, 88 bytes as an analysis.Measurement, ~200 B as a live Point map).
+func BenchmarkBlockEncode(b *testing.B) {
+	pts := benchBlockPoints(DefaultSealThreshold)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var blk *block
+	for i := 0; i < b.N; i++ {
+		blk = encodeBlock(pts)
+	}
+	b.ReportMetric(float64(len(blk.data))/float64(blk.n), "bytes/sample")
+}
+
+// BenchmarkBlockDecode is the read side: one sealed block decoded back into
+// a reused Point slice (the Fields maps are fresh per point — the same
+// ownership Query hands to callers).
+func BenchmarkBlockDecode(b *testing.B) {
+	blk := encodeBlock(benchBlockPoints(DefaultSealThreshold))
+	dst := make([]Point, 0, blk.n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = blk.decode(dst[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dst) != blk.n {
+			b.Fatalf("decoded %d points, want %d", len(dst), blk.n)
+		}
+	}
+}

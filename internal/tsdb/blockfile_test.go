@@ -1,0 +1,156 @@
+package tsdb
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// writeBlockFile spills s into dir and opens the result.
+func writeBlockFile(t *testing.T, s *Store) *BlockFile {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "campaign.clbf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteBlocks(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := OpenBlockFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bf.Close() })
+	return bf
+}
+
+// TestBlockFileRoundTrip pins that a spilled store answers queries
+// identically to the live one — full range, tag filters, and time bounds
+// that cross block boundaries — with a mix of sealed blocks and unsealed
+// tails on disk.
+func TestBlockFileRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.SetSealThreshold(16) // force several blocks plus a partial tail
+	fillStores(t, 500, s)
+	bf := writeBlockFile(t, s)
+
+	if bf.SeriesCount() != s.SeriesCount() {
+		t.Fatalf("series count %d, want %d", bf.SeriesCount(), s.SeriesCount())
+	}
+
+	from := time.Date(2020, 5, 3, 7, 0, 0, 0, time.UTC)
+	to := time.Date(2020, 5, 5, 19, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name     string
+		match    Tags
+		from, to time.Time
+	}{
+		{"all", nil, time.Time{}, time.Time{}},
+		{"tag", Tags{"server": "b"}, time.Time{}, time.Time{}},
+		{"range", nil, from, to},
+		{"tag+range", Tags{"server": "a"}, from, to},
+		{"no-match", Tags{"server": "zz"}, time.Time{}, time.Time{}},
+	}
+	for _, tc := range cases {
+		want := s.Query("speedtest", tc.match, tc.from, tc.to)
+		got, err := bf.Query("speedtest", tc.match, tc.from, tc.to)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: block file query differs from store", tc.name)
+		}
+	}
+	if got, err := bf.Query("absent", nil, time.Time{}, time.Time{}); err != nil || got != nil {
+		t.Fatalf("absent measurement: got %v, %v", got, err)
+	}
+}
+
+// TestBlockFileUnsealedStore pins that WriteBlocks works on a store with
+// sealing disabled: every tail becomes one transient block, without
+// mutating the store.
+func TestBlockFileUnsealedStore(t *testing.T) {
+	s := NewStore()
+	s.SetSealThreshold(0)
+	fillStores(t, 120, s)
+	bf := writeBlockFile(t, s)
+	if b, p, _ := s.BlockStats(); b != 0 || p != 0 {
+		t.Fatalf("WriteBlocks mutated the store: %d blocks / %d points", b, p)
+	}
+	want := s.Query("speedtest", nil, time.Time{}, time.Time{})
+	got, err := bf.Query("speedtest", nil, time.Time{}, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("block file query differs from store")
+	}
+}
+
+func TestBlockFileEmptyStore(t *testing.T) {
+	bf := writeBlockFile(t, NewStore())
+	if bf.SeriesCount() != 0 {
+		t.Fatalf("series count %d, want 0", bf.SeriesCount())
+	}
+	got, err := bf.Query("speedtest", nil, time.Time{}, time.Time{})
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+// TestBlockFileCorruption pins that a damaged file fails to open or query
+// with an error rather than a panic.
+func TestBlockFileCorruption(t *testing.T) {
+	s := NewStore()
+	s.SetSealThreshold(8)
+	fillStores(t, 60, s)
+	var buf bytes.Buffer
+	if _, err := s.WriteBlocks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := OpenBlockFile(write("short", raw[:10])); err == nil {
+		t.Fatal("truncated file should not open")
+	}
+	badMagic := append([]byte(nil), raw...)
+	badMagic[0] ^= 0xff
+	if _, err := OpenBlockFile(write("magic", badMagic)); err == nil {
+		t.Fatal("bad magic should not open")
+	}
+	noTrailer := raw[:len(raw)-4]
+	if _, err := OpenBlockFile(write("trailer", noTrailer)); err == nil {
+		t.Fatal("bad trailer should not open")
+	}
+}
+
+// TestParseSeriesKey pins the key grammar the index relies on.
+func TestParseSeriesKey(t *testing.T) {
+	m, tags, err := parseSeriesKey(seriesKey("speedtest", Tags{"b": "2", "a": "1"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != "speedtest" || !reflect.DeepEqual(tags, Tags{"a": "1", "b": "2"}) {
+		t.Fatalf("got %q %v", m, tags)
+	}
+	if _, _, err := parseSeriesKey(",a=1"); err == nil {
+		t.Fatal("empty measurement should fail")
+	}
+	if _, _, err := parseSeriesKey("m,broken"); err == nil {
+		t.Fatal("bad tag should fail")
+	}
+}

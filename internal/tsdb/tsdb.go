@@ -73,11 +73,15 @@ type Point struct {
 	Fields map[string]float64
 }
 
-// Series is an ordered sequence of points for one measurement+tags.
+// Series is an ordered sequence of points for one measurement+tags. Inside
+// the store, older points may live in sealed compressed blocks (see
+// block.go) with Points holding only the mutable tail; series returned by
+// Query/QueryView always have everything decoded into Points.
 type Series struct {
 	Measurement string
 	Tags        Tags
-	Points      []Point // kept sorted by time
+	Points      []Point  // mutable tail, kept sorted by time
+	blocks      []*block // sealed runs preceding the tail, time-ordered
 }
 
 // numShards stripes the store lock by series-key hash so concurrent
@@ -91,21 +95,51 @@ type shard struct {
 }
 
 // Store is a thread-safe collection of series. The lock is sharded by
-// series key: writers to distinct series take distinct locks, while
-// whole-store readers (Query, WriteTo, SeriesCount) lock every shard in
-// order for a consistent snapshot.
+// series key: writers to distinct series take distinct locks; whole-store
+// readers (Query, QueryView, SeriesCount) lock every shard in order for a
+// consistent snapshot, while WriteTo snapshots one shard at a time so
+// serialisation never stalls more than one shard's writers.
 type Store struct {
-	shards [numShards]shard
+	shards        [numShards]shard
+	sealThreshold int
 }
 
-// NewStore creates an empty store.
+// NewStore creates an empty store with sealing at DefaultSealThreshold.
 func NewStore() *Store {
-	s := &Store{}
+	s := &Store{sealThreshold: DefaultSealThreshold}
 	for i := range s.shards {
 		s.shards[i].id = i
 		s.shards[i].series = make(map[string]*Series)
 	}
 	return s
+}
+
+// SetSealThreshold changes the tail length at which a series is sealed
+// into a compressed block; 0 disables sealing (pure in-memory points, the
+// pre-block behaviour). Call before concurrent use: the threshold is read
+// without synchronisation on the insert path.
+func (s *Store) SetSealThreshold(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.sealThreshold = n
+}
+
+// BlockStats reports the sealed state of the store: number of sealed
+// blocks, points held inside them, and their total encoded bytes. Used by
+// the compression benchmarks and tests.
+func (s *Store) BlockStats() (blocks, points, bytes int) {
+	defer s.lockAll()()
+	for i := range s.shards {
+		for _, sr := range s.shards[i].series {
+			for _, b := range sr.blocks {
+				blocks++
+				points += b.n
+				bytes += len(b.data)
+			}
+		}
+	}
+	return blocks, points, bytes
 }
 
 func seriesKey(measurement string, tags Tags) string {
@@ -182,7 +216,7 @@ func (s *Store) Insert(measurement string, tags Tags, at time.Time, fields map[s
 		sr = &Series{Measurement: measurement, Tags: tcp}
 		sh.series[key] = sr
 	}
-	sr.insertPoint(Point{Time: at, Fields: cp})
+	sr.insertSealed(Point{Time: at, Fields: cp}, s.sealThreshold)
 	obsShardInserts[sh.id].Inc()
 	return nil
 }
@@ -206,6 +240,7 @@ func (sr *Series) insertPoint(p Point) {
 // is rendered and hashed once, so repeated inserts into the same series
 // (the orchestrator's sink pattern) skip key construction entirely.
 type Handle struct {
+	st *Store
 	sh *shard
 	sr *Series
 }
@@ -237,7 +272,7 @@ func (s *Store) Handle(measurement string, tags Tags) (*Handle, error) {
 		sr = &Series{Measurement: measurement, Tags: tcp}
 		sh.series[key] = sr
 	}
-	return &Handle{sh: sh, sr: sr}, nil
+	return &Handle{st: s, sh: sh, sr: sr}, nil
 }
 
 // Insert adds a point to the handle's series. Fields are copied. Equivalent
@@ -257,7 +292,7 @@ func (h *Handle) Insert(at time.Time, fields map[string]float64) error {
 	}
 	lockShard(h.sh)
 	defer h.sh.mu.Unlock()
-	h.sr.insertPoint(Point{Time: at, Fields: cp})
+	h.sr.insertSealed(Point{Time: at, Fields: cp}, h.st.sealThreshold)
 	obsShardInserts[h.sh.id].Inc()
 	return nil
 }
@@ -306,7 +341,7 @@ func (s *Store) Query(measurement string, match Tags, from, to time.Time) []Seri
 	var out []Series
 	for _, k := range keys {
 		sr := byKey[k]
-		var pts []Point
+		pts := sr.appendBlockPoints(nil, from, to)
 		for _, p := range sr.Points {
 			if !from.IsZero() && p.Time.Before(from) {
 				continue
@@ -328,6 +363,79 @@ func (s *Store) Query(measurement string, match Tags, from, to time.Time) []Seri
 			tags[tk] = tv
 		}
 		out = append(out, Series{Measurement: sr.Measurement, Tags: tags, Points: pts})
+	}
+	return out
+}
+
+// appendBlockPoints decodes the series' sealed blocks overlapping
+// [from, to) into dst. Decoded points carry fresh field maps either way, so
+// Query and QueryView share this path. Callers hold at least a read lock on
+// the owning shard.
+func (sr *Series) appendBlockPoints(dst []Point, from, to time.Time) []Point {
+	for _, b := range sr.blocks {
+		if !from.IsZero() && b.maxNs < from.UnixNano() {
+			continue
+		}
+		if !to.IsZero() && b.minNs >= to.UnixNano() {
+			continue
+		}
+		dst = b.appendPoints(dst, from, to)
+	}
+	return dst
+}
+
+// QueryView is Query without the defensive deep copy: the hot path for the
+// analysis engine, which reads millions of points and never mutates them.
+//
+// Aliasing contract: the returned Tags maps and the tail points' Fields
+// maps ALIAS live store memory. This is safe to read concurrently with
+// inserts — the store treats both as immutable after creation (Insert
+// copies its arguments into fresh maps and never mutates a stored map) —
+// but a caller that writes through a view corrupts the store. Treat every
+// map in the result as read-only; callers that need ownership must use
+// Query. Point structs themselves are copied (insertions memmove the
+// stored slice), so the Time/len structure of a view is stable. Pinned by
+// TestQueryViewAliasesStore and TestQueryViewMatchesQuery.
+func (s *Store) QueryView(measurement string, match Tags, from, to time.Time) []Series {
+	defer s.lockAll()()
+	byKey := make(map[string]*Series)
+	keys := make([]string, 0)
+	for i := range s.shards {
+		for k, sr := range s.shards[i].series {
+			if sr.Measurement != measurement {
+				continue
+			}
+			ok := true
+			for mk, mv := range match {
+				if sr.Tags[mk] != mv {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keys = append(keys, k)
+				byKey[k] = sr
+			}
+		}
+	}
+	sort.Strings(keys)
+	var out []Series
+	for _, k := range keys {
+		sr := byKey[k]
+		pts := sr.appendBlockPoints(nil, from, to)
+		for _, p := range sr.Points {
+			if !from.IsZero() && p.Time.Before(from) {
+				continue
+			}
+			if !to.IsZero() && !p.Time.Before(to) {
+				continue
+			}
+			pts = append(pts, p) // struct copy; Fields map shared
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		out = append(out, Series{Measurement: sr.Measurement, Tags: sr.Tags, Points: pts})
 	}
 	return out
 }
@@ -474,24 +582,59 @@ func GroupByTime(sr Series, field string, window time.Duration, agg Aggregator) 
 
 // --- Line protocol -------------------------------------------------------------
 
-// WriteTo serialises the store in InfluxDB line protocol, sorted by series
-// key then time.
-func (s *Store) WriteTo(w io.Writer) (int64, error) {
-	defer s.lockAll()()
-	byKey := make(map[string]*Series)
-	keys := make([]string, 0)
+// seriesSnap is a point-in-time copy of one series taken under its shard's
+// read lock: blocks are immutable and shared, tail Point structs are copied
+// (insertions memmove the live slice) while their Fields maps are shared
+// (never mutated after insert), and Tags are shared for the same reason.
+type seriesSnap struct {
+	key         string
+	measurement string
+	tags        Tags
+	blocks      []*block
+	tail        []Point
+}
+
+// snapshotSeries collects a consistent-per-shard snapshot of every series,
+// holding only one shard's read lock at a time so concurrent inserts stall
+// for at most one shard, not the whole store (pinned by the -race test
+// TestWriteToConcurrentWithInserts).
+func (s *Store) snapshotSeries() []seriesSnap {
+	var snaps []seriesSnap
 	for i := range s.shards {
-		for k, sr := range s.shards[i].series {
-			keys = append(keys, k)
-			byKey[k] = sr
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, sr := range sh.series {
+			snaps = append(snaps, seriesSnap{
+				key:         k,
+				measurement: sr.Measurement,
+				tags:        sr.Tags,
+				blocks:      append([]*block(nil), sr.blocks...),
+				tail:        append([]Point(nil), sr.Points...),
+			})
 		}
+		sh.mu.RUnlock()
 	}
-	sort.Strings(keys)
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].key < snaps[j].key })
+	return snaps
+}
+
+// WriteTo serialises the store in InfluxDB line protocol, sorted by series
+// key then time. The snapshot is taken shard-by-shard: each series is
+// internally consistent and the output is a valid store state, but series
+// on different shards may be captured at slightly different instants when
+// inserts run concurrently.
+func (s *Store) WriteTo(w io.Writer) (int64, error) {
+	snaps := s.snapshotSeries()
 	bw := bufio.NewWriter(w)
 	var n int64
-	for _, k := range keys {
-		sr := byKey[k]
-		for _, p := range sr.Points {
+	var scratch []Point
+	for _, snap := range snaps {
+		scratch = scratch[:0]
+		for _, b := range snap.blocks {
+			scratch = b.appendPoints(scratch, time.Time{}, time.Time{})
+		}
+		scratch = append(scratch, snap.tail...)
+		for _, p := range scratch {
 			fields := make([]string, 0, len(p.Fields))
 			for fk := range p.Fields {
 				fields = append(fields, fk)
@@ -504,7 +647,7 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 				}
 				fmt.Fprintf(&fb, "%s=%s", fk, strconv.FormatFloat(p.Fields[fk], 'g', -1, 64))
 			}
-			c, err := fmt.Fprintf(bw, "%s%s %s %d\n", sr.Measurement, sr.Tags.canonical(), fb.String(), p.Time.UnixNano())
+			c, err := fmt.Fprintf(bw, "%s%s %s %d\n", snap.measurement, snap.tags.canonical(), fb.String(), p.Time.UnixNano())
 			n += int64(c)
 			if err != nil {
 				return n, err
