@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke bench-check ci
+.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke loadgen-smoke bench-check ci
 
 build:
 	$(GO) build ./...
@@ -110,6 +110,15 @@ scenario-smoke:
 block-smoke:
 	$(GO) run ./internal/tools/blocksmoke
 
+# loadgen-smoke is the serving-path telemetry gate: it boots the full
+# speedtestd daemon in-process on ephemeral ports, fires a concurrent burst
+# of real-protocol clients (ookla TCP, ndt7 WebSocket, xfinity HTTP) at it,
+# and asserts the per-route latency histograms moved, /debug/obs/history
+# serves well-formed windowed JSON over the scraped self-store, and the
+# percentiles loadgen reconstructs from that history are sane.
+loadgen-smoke:
+	$(GO) run ./internal/tools/loadgensmoke
+
 # bench-check re-runs the recorded benchmarks and compares them against
 # the committed BENCH_*.json records: more than +25% ns/op or any rise in
 # allocs/op fails the build (timings get machine-noise slack; allocation
@@ -128,6 +137,7 @@ bench-check:
 # ci is the gate for every change: formatting, tier-1 build + tests,
 # static checks, the full suite under the race detector, a benchmark
 # smoke run, the observability, fault-injection, analysis-determinism,
-# scenario-golden and storage-determinism smoke gates, and the benchmark
-# regression check against the committed BENCH_*.json records.
-ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke bench-check
+# scenario-golden, storage-determinism and serving-path-telemetry smoke
+# gates, and the benchmark regression check against the committed
+# BENCH_*.json records.
+ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke loadgen-smoke bench-check

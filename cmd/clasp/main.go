@@ -41,6 +41,11 @@
 //	                temp dir); spill files are unlinked at creation
 //	-metrics-out F  enable metrics; write a Prometheus text dump to F and a
 //	                JSON snapshot to F.json when the command finishes
+//	-debug-addr A   enable metrics and serve live introspection on A while
+//	                the command runs: /metrics (Prometheus text), /progress
+//	                (per-region campaign progress, breaker state and ETA),
+//	                /debug/obs/history (windowed queries over a 5s-cadence
+//	                scrape of the registry) and /debug/pprof/*
 //	-tracelog F     enable tracing; append span events as JSON lines to F
 //	-cpuprofile F   write a CPU profile to file F
 //	-memprofile F   write an allocation profile to file F on exit
@@ -60,6 +65,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/scenario"
+	"github.com/clasp-measurement/clasp/internal/telemetry"
 
 	clasp "github.com/clasp-measurement/clasp"
 )
@@ -88,6 +94,7 @@ func run(args []string) error {
 	maxMemory := fs.Int("max-memory", 0, "campaign record memory budget in MB (0 = unbounded); larger campaigns stream through a compressed spillable log")
 	spillDir := fs.String("spill-dir", "", "directory for spilled record logs (default: the system temp dir)")
 	metricsOut := fs.String("metrics-out", "", "enable metrics and write Prometheus text to this file (JSON snapshot beside it as <file>.json)")
+	debugAddr := fs.String("debug-addr", "", "enable metrics and serve live introspection (/metrics, /progress, /debug/obs/history, /debug/pprof/) on this address while the command runs")
 	tracelog := fs.String("tracelog", "", "enable tracing and write span events as JSON lines to this file")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -132,12 +139,30 @@ func run(args []string) error {
 		}
 	}
 
-	// Telemetry: either flag turns the obs registry on; campaign results
-	// are bit-identical with it on or off. The metrics dump is written
-	// after the command finishes (even a failed one — a partial campaign's
-	// telemetry is exactly what a failure investigation wants).
-	if *metricsOut != "" || *tracelog != "" {
+	// Telemetry: any of these flags turns the obs registry on; campaign
+	// results are bit-identical with it on or off. The metrics dump is
+	// written after the command finishes (even a failed one — a partial
+	// campaign's telemetry is exactly what a failure investigation wants).
+	if *metricsOut != "" || *tracelog != "" || *debugAddr != "" {
 		obs.SetEnabled(true)
+	}
+	if *debugAddr != "" {
+		// Live introspection while the command runs: the orchestrator
+		// publishes per-region progress/ETA gauges the /progress endpoint
+		// renders, and a background scrape pipeline gives /debug/obs/history
+		// real time-series depth. Both are pure observers of the registry.
+		pipe := telemetry.NewPipeline(telemetry.PipelineConfig{})
+		pipe.Start()
+		defer pipe.Stop()
+		dbg, err := telemetry.StartDebug(*debugAddr, telemetry.Introspection{
+			History:  pipe.Store,
+			Progress: true,
+		})
+		if err != nil {
+			return fmt.Errorf("debug-addr: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "clasp: introspection on http://%s (/metrics /progress /debug/obs/history /debug/pprof/)\n", dbg.Addr())
+		defer dbg.Close()
 	}
 	if *tracelog != "" {
 		f, err := os.Create(*tracelog)

@@ -6,112 +6,70 @@
 // Usage:
 //
 //	speedtestd [-ookla :8080] [-http :8081] [-duration 10s]
+//	           [-scrape-interval 5s] [-telemetry-retention 1h]
+//	           [-telemetry-out self.blk]
 //
 // The HTTP listener serves ndt7 (/ndt/v7/download, /ndt/v7/upload), the
 // Xfinity endpoints (/speedtest/*), and /servers.json. Live telemetry is
 // exposed on the same listener: GET /metrics serves the obs registry in
-// Prometheus text exposition format and /debug/vars serves expvar JSON
-// (including the full registry snapshot under the "clasp_obs" key).
+// Prometheus text format, /debug/vars serves expvar JSON (full registry
+// snapshot under "clasp_obs"), /debug/obs/history serves windowed JSON
+// queries over the daemon's scraped self-telemetry store, and
+// /debug/pprof/* serves the standard profiling endpoints. Every request is
+// timed into the speedtestd_http_request_duration_ns{route,status}
+// histogram family; the scrape pipeline samples the whole registry into a
+// columnar tsdb store on -scrape-interval, keeps -telemetry-retention of
+// history, and dumps it to -telemetry-out (block-file format, readable
+// with tsdb.OpenBlockFile) on shutdown.
 package main
 
 import (
 	"context"
-	"errors"
-	"expvar"
 	"flag"
-	"fmt"
 	"log"
-	"net"
-	"net/http"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
-	"github.com/clasp-measurement/clasp/internal/obs"
-	"github.com/clasp-measurement/clasp/internal/speedtest"
-	"github.com/clasp-measurement/clasp/internal/speedtest/ndt7"
-	"github.com/clasp-measurement/clasp/internal/speedtest/ookla"
-	"github.com/clasp-measurement/clasp/internal/speedtest/xfinity"
+	"github.com/clasp-measurement/clasp/internal/daemon"
 )
 
 // shutdownTimeout bounds the graceful drain after SIGINT/SIGTERM: ongoing
 // speed tests may finish within it, then remaining connections are closed.
 const shutdownTimeout = 15 * time.Second
 
-// obsRequests counts every HTTP request the daemon serves, by method.
-var obsRequests = obs.Default().Counter("speedtestd_http_requests_total")
-
-// countRequests wraps a handler with the request counter.
-func countRequests(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		obsRequests.Inc()
-		next.ServeHTTP(w, r)
-	})
-}
-
 func main() {
 	ooklaAddr := flag.String("ookla", "127.0.0.1:8080", "Ookla protocol listen address")
 	httpAddr := flag.String("http", "127.0.0.1:8081", "HTTP listen address (ndt7 + xfinity + directory)")
 	duration := flag.Duration("duration", 10*time.Second, "ndt7 test duration")
+	scrapeInterval := flag.Duration("scrape-interval", 5*time.Second, "self-telemetry scrape cadence")
+	retention := flag.Duration("telemetry-retention", time.Hour, "self-telemetry history retention (0 keeps everything)")
+	telemetryOut := flag.String("telemetry-out", "", "write the scraped self-telemetry store to this block file on shutdown")
 	flag.Parse()
 
-	// A long-lived daemon always runs with live metrics on; the registry's
-	// cost is a handful of atomic adds per request.
-	obs.SetEnabled(true)
-	expvar.Publish("clasp_obs", expvar.Func(func() any { return obs.Default().Snapshot() }))
-
-	srv, err := ookla.Listen(*ooklaAddr)
+	ret := *retention
+	if ret == 0 {
+		ret = -1 // daemon.Config: <0 keeps everything, 0 means default
+	}
+	d, err := daemon.Start(daemon.Config{
+		OoklaAddr:      *ooklaAddr,
+		HTTPAddr:       *httpAddr,
+		NDT7Duration:   *duration,
+		ScrapeInterval: *scrapeInterval,
+		Retention:      ret,
+		TelemetryOut:   *telemetryOut,
+		Logf:           log.Printf,
+	})
 	if err != nil {
 		log.Fatalf("speedtestd: %v", err)
 	}
-	log.Printf("ookla protocol on %s", srv.Addr())
-
-	ln, err := net.Listen("tcp", *httpAddr)
-	if err != nil {
-		log.Fatalf("speedtestd: %v", err)
-	}
-	log.Printf("ndt7 + xfinity + directory on http://%s", ln.Addr())
-
-	directory := speedtest.NewDirectory([]speedtest.ServerInfo{
-		{ID: 1, Platform: "ookla", Host: srv.Addr().String(), City: "localhost", Country: "US", Sponsor: "clasp"},
-		{ID: 2, Platform: "mlab", Host: ln.Addr().String(), City: "localhost", Country: "US", Sponsor: "clasp"},
-		{ID: 3, Platform: "comcast", Host: ln.Addr().String(), City: "localhost", Country: "US", Sponsor: "clasp"},
-	})
-
-	mux := http.NewServeMux()
-	ndt := &ndt7.Handler{Duration: *duration}
-	mux.Handle(ndt7.DownloadPath, ndt)
-	mux.Handle(ndt7.UploadPath, ndt)
-	xf := &xfinity.Handler{}
-	mux.Handle(xfinity.LatencyPath, xf)
-	mux.Handle(xfinity.DownloadPath, xf)
-	mux.Handle(xfinity.UploadPath, xf)
-	mux.Handle("/servers.json", directory)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = obs.Default().WriteProm(w)
-	})
-	mux.Handle("/debug/vars", expvar.Handler())
-	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "clasp speedtestd: /servers.json, /ndt/v7/{download,upload}, /speedtest/{latency,download,upload}, /metrics, /debug/vars")
-	})
 
 	// Serve until interrupted, then drain: in-flight tests get up to
-	// shutdownTimeout to finish before the listener is torn down, so a
-	// Ctrl-C mid-test no longer drops connections on the floor.
-	httpSrv := &http.Server{Handler: countRequests(mux)}
-	errc := make(chan error, 1)
-	go func() {
-		if err := httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			errc <- err
-		}
-	}()
-
+	// shutdownTimeout to finish before the listeners are torn down.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	select {
-	case err := <-errc:
+	case err := <-d.Err():
 		log.Fatalf("speedtestd: %v", err)
 	case <-ctx.Done():
 	}
@@ -119,22 +77,7 @@ func main() {
 	log.Printf("shutting down (waiting up to %s for in-flight tests)", shutdownTimeout)
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
-	// Both listeners drain symmetrically under the same deadline: the HTTP
-	// side (ndt7/xfinity) and the Ookla TCP server each stop accepting and
-	// let in-flight tests finish before remaining connections are severed.
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		if err := httpSrv.Shutdown(sctx); err != nil {
-			log.Printf("speedtestd: forced http shutdown: %v", err)
-		}
-	}()
-	go func() {
-		defer wg.Done()
-		if err := srv.Shutdown(sctx); err != nil {
-			log.Printf("speedtestd: forced ookla shutdown: %v", err)
-		}
-	}()
-	wg.Wait()
+	if err := d.Shutdown(sctx); err != nil {
+		log.Printf("speedtestd: shutdown: %v", err)
+	}
 }

@@ -43,20 +43,21 @@ import (
 	"sync/atomic"
 )
 
-// metricKind discriminates registered metric types for conflict detection.
-type metricKind uint8
+// MetricKind discriminates registered metric types — for conflict detection
+// at registration and for consumers of the structured Samples snapshot.
+type MetricKind uint8
 
 const (
-	kindCounter metricKind = iota
-	kindGauge
-	kindHistogram
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
 )
 
-func (k metricKind) String() string {
+func (k MetricKind) String() string {
 	switch k {
-	case kindCounter:
+	case KindCounter:
 		return "counter"
-	case kindGauge:
+	case KindGauge:
 		return "gauge"
 	default:
 		return "histogram"
@@ -72,7 +73,7 @@ type Registry struct {
 	tracer  Tracer
 
 	mu         sync.Mutex
-	kinds      map[string]metricKind // series id -> kind
+	kinds      map[string]MetricKind // series id -> kind
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
@@ -81,7 +82,7 @@ type Registry struct {
 // NewRegistry creates an empty, disabled registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		kinds:      make(map[string]metricKind),
+		kinds:      make(map[string]MetricKind),
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
@@ -110,14 +111,16 @@ func (r *Registry) Enabled() bool { return r.enabled.Load() }
 // Tracer returns the registry's span tracer.
 func (r *Registry) Tracer() *Tracer { return &r.tracer }
 
-// seriesID renders the canonical series identity: name plus a sorted,
-// Prometheus-style label block ({k="v",...}) when labels are present.
-func seriesID(name string, labels []string) string {
+// seriesID renders the canonical series identity — name plus a sorted,
+// Prometheus-style label block ({k="v",...}) when labels are present — and
+// returns the sorted alternating key/value pairs alongside it, which each
+// metric keeps for structured snapshots (Samples) and the scraper.
+func seriesID(name string, labels []string) (string, []string) {
 	if err := validateName(name); err != nil {
 		panic(err)
 	}
 	if len(labels) == 0 {
-		return name
+		return name, nil
 	}
 	if len(labels)%2 != 0 {
 		panic(fmt.Sprintf("obs: metric %s: odd label list (want key/value pairs)", name))
@@ -131,6 +134,7 @@ func seriesID(name string, labels []string) string {
 		pairs = append(pairs, kv{labels[i], labels[i+1]})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	sorted := make([]string, 0, len(labels))
 	var b strings.Builder
 	b.WriteString(name)
 	b.WriteByte('{')
@@ -142,9 +146,10 @@ func seriesID(name string, labels []string) string {
 		b.WriteString("=\"")
 		b.WriteString(p.v)
 		b.WriteByte('"')
+		sorted = append(sorted, p.k, p.v)
 	}
 	b.WriteByte('}')
-	return b.String()
+	return b.String(), sorted
 }
 
 // validateName rejects identifiers that would corrupt the Prometheus text
@@ -169,7 +174,7 @@ func validateName(s string) error {
 // already registered as a different metric type — duplicate names across
 // kinds are programmer errors the obs-smoke CI step also guards against.
 // Callers hold r.mu.
-func (r *Registry) checkKind(id string, k metricKind) {
+func (r *Registry) checkKind(id string, k MetricKind) {
 	if prev, ok := r.kinds[id]; ok && prev != k {
 		panic(fmt.Sprintf("obs: metric %s already registered as %s, re-registered as %s", id, prev, k))
 	}
@@ -182,23 +187,24 @@ func (r *Registry) checkKind(id string, k metricKind) {
 // atomic add; while the registry is disabled they return after one atomic
 // load with zero allocations.
 type Counter struct {
-	r      *Registry
-	name   string // metric family
-	labels string // rendered label block ("" when unlabelled)
-	v      atomic.Uint64
+	r          *Registry
+	name       string   // metric family
+	labels     string   // rendered label block ("" when unlabelled)
+	labelPairs []string // sorted alternating key/value pairs
+	v          atomic.Uint64
 }
 
 // Counter registers (or fetches) a counter. labels are alternating
 // key/value pairs; the same (name, labels) always returns the same counter.
 func (r *Registry) Counter(name string, labels ...string) *Counter {
-	id := seriesID(name, labels)
+	id, pairs := seriesID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.checkKind(id, kindCounter)
+	r.checkKind(id, KindCounter)
 	if c, ok := r.counters[id]; ok {
 		return c
 	}
-	c := &Counter{r: r, name: name, labels: strings.TrimPrefix(id, name)}
+	c := &Counter{r: r, name: name, labels: strings.TrimPrefix(id, name), labelPairs: pairs}
 	r.counters[id] = c
 	return c
 }
@@ -227,22 +233,23 @@ func (c *Counter) Value() uint64 {
 // Gauge is a float64 metric that can go up and down (stored as atomic
 // bits). Updates no-op while the registry is disabled.
 type Gauge struct {
-	r      *Registry
-	name   string
-	labels string
-	bits   atomic.Uint64
+	r          *Registry
+	name       string
+	labels     string
+	labelPairs []string
+	bits       atomic.Uint64
 }
 
 // Gauge registers (or fetches) a gauge.
 func (r *Registry) Gauge(name string, labels ...string) *Gauge {
-	id := seriesID(name, labels)
+	id, pairs := seriesID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.checkKind(id, kindGauge)
+	r.checkKind(id, KindGauge)
 	if g, ok := r.gauges[id]; ok {
 		return g
 	}
-	g := &Gauge{r: r, name: name, labels: strings.TrimPrefix(id, name)}
+	g := &Gauge{r: r, name: name, labels: strings.TrimPrefix(id, name), labelPairs: pairs}
 	r.gauges[id] = g
 	return g
 }
@@ -256,8 +263,13 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add increments the gauge by delta (CAS loop; safe for concurrent use).
+// Non-finite deltas are dropped — one NaN would stick the gauge at NaN for
+// the rest of the process.
 func (g *Gauge) Add(delta float64) {
 	if g == nil || !g.r.enabled.Load() {
+		return
+	}
+	if math.IsNaN(delta) || math.IsInf(delta, 0) {
 		return
 	}
 	for {
@@ -289,24 +301,25 @@ const histBuckets = 40
 // O(1) bit operation plus three atomic updates; it allocates nothing and,
 // while the registry is disabled, returns after one atomic load.
 type Histogram struct {
-	r       *Registry
-	name    string
-	labels  string
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 sum, CAS-updated
-	buckets [histBuckets + 1]atomic.Uint64
+	r          *Registry
+	name       string
+	labels     string
+	labelPairs []string
+	count      atomic.Uint64
+	sumBits    atomic.Uint64 // float64 sum, CAS-updated
+	buckets    [histBuckets + 1]atomic.Uint64
 }
 
 // Histogram registers (or fetches) a histogram.
 func (r *Registry) Histogram(name string, labels ...string) *Histogram {
-	id := seriesID(name, labels)
+	id, pairs := seriesID(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.checkKind(id, kindHistogram)
+	r.checkKind(id, KindHistogram)
 	if h, ok := r.histograms[id]; ok {
 		return h
 	}
-	h := &Histogram{r: r, name: name, labels: strings.TrimPrefix(id, name)}
+	h := &Histogram{r: r, name: name, labels: strings.TrimPrefix(id, name), labelPairs: pairs}
 	r.histograms[id] = h
 	return h
 }
@@ -316,6 +329,12 @@ func (r *Registry) Histogram(name string, labels ...string) *Histogram {
 func bucketIndex(v float64) int {
 	if v <= 1 {
 		return 0
+	}
+	if v > float64(uint64(1)<<(histBuckets-1)) {
+		// Overflow bucket, decided in float space: float64→uint64
+		// conversion is undefined for v >= 2^63, so values past the top
+		// bound must never reach the conversion below.
+		return histBuckets
 	}
 	u := uint64(math.Ceil(v))
 	idx := bits.Len64(u - 1) // ceil(log2(u))
@@ -335,8 +354,14 @@ func BucketBound(i int) float64 {
 }
 
 // Observe records one value. No-op while the registry is disabled.
+// Non-finite observations (NaN, ±Inf) are dropped entirely: a single NaN
+// would poison _sum forever, and an infinite duration carries no signal the
+// overflow bucket doesn't already express.
 func (h *Histogram) Observe(v float64) {
 	if h == nil || !h.r.enabled.Load() {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
 		return
 	}
 	h.count.Add(1)
@@ -415,52 +440,68 @@ func formatBound(b float64) string {
 	return strconv.FormatFloat(b, 'g', -1, 64)
 }
 
+// metricRef is one registered series captured under r.mu: the id, its kind,
+// and the live metric pointer. Snapshotting refs (not the maps themselves)
+// lets dump and sample paths read atomics lock-free without racing against
+// concurrent registration growing the maps.
+type metricRef struct {
+	id   string
+	kind MetricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// snapshotRefs copies every (id, kind, pointer) tuple under the lock and
+// returns them sorted by series id.
+func (r *Registry) snapshotRefs() []metricRef {
+	r.mu.Lock()
+	refs := make([]metricRef, 0, len(r.kinds))
+	for id, c := range r.counters {
+		refs = append(refs, metricRef{id: id, kind: KindCounter, c: c})
+	}
+	for id, g := range r.gauges {
+		refs = append(refs, metricRef{id: id, kind: KindGauge, g: g})
+	}
+	for id, h := range r.histograms {
+		refs = append(refs, metricRef{id: id, kind: KindHistogram, h: h})
+	}
+	r.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
+	return refs
+}
+
 // WriteProm writes every metric in Prometheus text exposition format,
 // sorted by series id, with one # TYPE line per family. Histograms emit
 // cumulative _bucket{le=...}, _sum and _count series.
 func (r *Registry) WriteProm(w io.Writer) error {
-	r.mu.Lock()
-	ids := make([]string, 0, len(r.kinds))
-	for id := range r.kinds {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	counters := r.counters
-	gauges := r.gauges
-	histograms := r.histograms
-	kinds := make(map[string]metricKind, len(r.kinds))
-	for id, k := range r.kinds {
-		kinds[id] = k
-	}
-	r.mu.Unlock()
-
 	typed := make(map[string]bool)
-	for _, id := range ids {
-		switch kinds[id] {
-		case kindCounter:
-			c := counters[id]
+	for _, ref := range r.snapshotRefs() {
+		switch ref.kind {
+		case KindCounter:
+			c := ref.c
 			if !typed[c.name] {
 				typed[c.name] = true
 				if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", c.name); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", id, c.Value()); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", ref.id, c.Value()); err != nil {
 				return err
 			}
-		case kindGauge:
-			g := gauges[id]
+		case KindGauge:
+			g := ref.g
 			if !typed[g.name] {
 				typed[g.name] = true
 				if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", g.name); err != nil {
 					return err
 				}
 			}
-			if _, err := fmt.Fprintf(w, "%s %s\n", id, strconv.FormatFloat(g.Value(), 'g', -1, 64)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", ref.id, strconv.FormatFloat(g.Value(), 'g', -1, 64)); err != nil {
 				return err
 			}
-		case kindHistogram:
-			h := histograms[id]
+		case KindHistogram:
+			h := ref.h
 			if !typed[h.name] {
 				typed[h.name] = true
 				if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.name); err != nil {
@@ -473,6 +514,71 @@ func (r *Registry) WriteProm(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// --- Structured samples ---------------------------------------------------------
+
+// BucketCount is one populated histogram bucket in a MetricSample:
+// cumulative count of observations <= LE.
+type BucketCount struct {
+	LE  float64
+	Cum uint64
+}
+
+// MetricSample is one series in a structured registry snapshot. Exactly the
+// fields matching Kind are meaningful: Counter for KindCounter, Value for
+// KindGauge, Count/Sum/Buckets for KindHistogram.
+type MetricSample struct {
+	ID     string // canonical series id (name{k="v",...})
+	Kind   MetricKind
+	Name   string   // metric family name
+	Labels []string // sorted alternating key/value pairs (nil when unlabelled)
+
+	Counter uint64
+	Value   float64
+	Count   uint64
+	Sum     float64
+	Buckets []BucketCount // populated buckets only, cumulative, ascending LE
+}
+
+// Samples returns a point-in-time structured snapshot of every registered
+// series, sorted by series id. Pointers are captured under the registration
+// lock and values read atomically after it is released, so Samples is safe
+// against concurrent registration and updates; it is the feed for the
+// Scraper and the introspection endpoints.
+func (r *Registry) Samples() []MetricSample {
+	refs := r.snapshotRefs()
+	out := make([]MetricSample, 0, len(refs))
+	for _, ref := range refs {
+		s := MetricSample{ID: ref.id, Kind: ref.kind}
+		switch ref.kind {
+		case KindCounter:
+			s.Name = ref.c.name
+			s.Labels = ref.c.labelPairs
+			s.Counter = ref.c.Value()
+		case KindGauge:
+			s.Name = ref.g.name
+			s.Labels = ref.g.labelPairs
+			s.Value = ref.g.Value()
+		case KindHistogram:
+			h := ref.h
+			s.Name = h.name
+			s.Labels = h.labelPairs
+			s.Count = h.Count()
+			s.Sum = h.Sum()
+			var cum uint64
+			for i := 0; i <= histBuckets; i++ {
+				n := h.buckets[i].Load()
+				if n == 0 {
+					continue
+				}
+				cum += n
+				s.Buckets = append(s.Buckets, BucketCount{LE: BucketBound(i), Cum: cum})
+			}
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // writePromHistogram renders one histogram's _bucket/_sum/_count series.

@@ -32,6 +32,12 @@ type campaignMetrics struct {
 	vmCreateRetries *obs.Counter
 	breakerOpen     *obs.Counter
 	breakerState    *obs.Gauge
+
+	// Progress gauges published per hourly round so a live -debug-addr
+	// introspection server can render a campaign's position and ETA.
+	hoursTotal *obs.Gauge
+	hoursDone  *obs.Gauge
+	eta        *obs.Gauge
 }
 
 func newCampaignMetrics(region string) *campaignMetrics {
@@ -51,6 +57,10 @@ func newCampaignMetrics(region string) *campaignMetrics {
 		vmCreateRetries: r.Counter("campaign_vm_create_retries_total", "region", region),
 		breakerOpen:     r.Counter("campaign_breaker_open_rounds_total", "region", region),
 		breakerState:    r.Gauge("campaign_breaker_state", "region", region),
+
+		hoursTotal: r.Gauge("campaign_hours_total", "region", region),
+		hoursDone:  r.Gauge("campaign_hours_done", "region", region),
+		eta:        r.Gauge("campaign_eta_seconds", "region", region),
 	}
 	for _, p := range campaignPhases {
 		m.phase[p] = r.Gauge("campaign_phase_seconds_total", "region", region, "phase", p)
@@ -136,4 +146,22 @@ func (m *campaignMetrics) setBreakerState(s faults.BreakerState) {
 	if m != nil {
 		m.breakerState.Set(float64(s))
 	}
+}
+
+// setProgress publishes the campaign's position after `done` of `total`
+// hourly rounds. The ETA extrapolates the wall clock elapsed since
+// wallStart — simulated timestamps and measurement data never feed it, so
+// the gauges are pure observers and cannot perturb campaign results.
+func (m *campaignMetrics) setProgress(done, total int, wallStart time.Time) {
+	if m == nil {
+		return
+	}
+	m.hoursTotal.Set(float64(total))
+	m.hoursDone.Set(float64(done))
+	if done <= 0 || done >= total {
+		m.eta.Set(0)
+		return
+	}
+	elapsed := time.Since(wallStart).Seconds()
+	m.eta.Set(elapsed / float64(done) * float64(total-done))
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
+	"net/http"
 	"reflect"
 	"strconv"
 	"testing"
@@ -12,6 +14,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/netsim"
 	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/someta"
+	"github.com/clasp-measurement/clasp/internal/telemetry"
 )
 
 func TestLatestSnapshot(t *testing.T) {
@@ -68,9 +71,11 @@ func TestCaptureTestUploadsLatestSnapshotOnly(t *testing.T) {
 // TestMetricsDoNotChangeResults pins the disabled-path invariant from the
 // obs package doc: a campaign produces bit-identical measurements and
 // reports whether metrics and tracing are enabled or not — telemetry never
-// feeds back into measurement arithmetic.
+// feeds back into measurement arithmetic. A third run adds the full
+// -debug-addr introspection stack (live HTTP server being polled plus a
+// background scrape pipeline) and must still match byte for byte.
 func TestMetricsDoNotChangeResults(t *testing.T) {
-	run := func(enabled bool, trace *bytes.Buffer) ([]byte, *Report) {
+	run := func(enabled, introspect bool, trace *bytes.Buffer) ([]byte, *Report) {
 		f := setup(t)
 		if enabled {
 			obs.SetEnabled(true)
@@ -78,6 +83,72 @@ func TestMetricsDoNotChangeResults(t *testing.T) {
 			defer func() {
 				obs.SetTraceWriter(nil)
 				obs.SetEnabled(false)
+			}()
+		}
+		if introspect {
+			// Mirror cmd/clasp -debug-addr: background scraper into a
+			// self-store plus a live introspection server, polled while the
+			// campaign runs to exercise the concurrent read path.
+			pipe := telemetry.NewPipeline(telemetry.PipelineConfig{Interval: 5 * time.Millisecond})
+			pipe.Start()
+			defer pipe.Stop()
+			dbg, err := telemetry.StartDebug("127.0.0.1:0", telemetry.Introspection{
+				History:  pipe.Store,
+				Progress: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer dbg.Close()
+			base := "http://" + dbg.Addr().String()
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, p := range []string{"/metrics", "/progress"} {
+						resp, err := http.Get(base + p)
+						if err == nil {
+							_, _ = io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+						}
+					}
+				}
+			}()
+			defer func() {
+				// Final poll before teardown: progress gauges must show the
+				// finished campaign.
+				close(stop)
+				<-done
+				resp, err := http.Get(base + "/progress")
+				if err != nil {
+					t.Fatal(err)
+				}
+				var pr telemetry.ProgressResponse
+				if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				found := false
+				for _, r := range pr.Regions {
+					if r.Region == "us-east1" {
+						found = true
+						if r.HoursTotal != 24 || r.HoursDone != 24 {
+							t.Errorf("progress hours = %v/%v, want 24/24", r.HoursDone, r.HoursTotal)
+						}
+						if r.ETASeconds != 0 {
+							t.Errorf("finished campaign ETA = %v, want 0", r.ETASeconds)
+						}
+					}
+				}
+				if !found {
+					t.Error("no us-east1 entry in /progress after campaign")
+				}
 			}()
 		}
 		sink := &SliceSink{}
@@ -100,15 +171,29 @@ func TestMetricsDoNotChangeResults(t *testing.T) {
 		return enc, rep
 	}
 
-	plain, repPlain := run(false, nil)
+	plain, repPlain := run(false, false, nil)
 	var trace bytes.Buffer
-	instrumented, repObs := run(true, &trace)
+	instrumented, repObs := run(true, false, &trace)
+	var trace2 bytes.Buffer
+	introspected, repIntro := run(true, true, &trace2)
 
 	if !bytes.Equal(plain, instrumented) {
 		t.Error("measurement stream differs with metrics enabled")
 	}
 	if !reflect.DeepEqual(repPlain, repObs) {
 		t.Errorf("reports differ: %+v vs %+v", repPlain, repObs)
+	}
+	if !bytes.Equal(plain, introspected) {
+		t.Error("measurement stream differs with live introspection + scraper active")
+	}
+	// MaxVMCPUUtil is host metadata: the someta default probe samples the
+	// live goroutine count, which the introspection server's own goroutines
+	// legitimately raise. Everything derived from measurements must still
+	// match exactly.
+	normPlain, normIntro := *repPlain, *repIntro
+	normPlain.MaxVMCPUUtil, normIntro.MaxVMCPUUtil = 0, 0
+	if !reflect.DeepEqual(&normPlain, &normIntro) {
+		t.Errorf("reports differ under introspection: %+v vs %+v", repPlain, repIntro)
 	}
 	if trace.Len() == 0 {
 		t.Fatal("tracing enabled but no span events written")

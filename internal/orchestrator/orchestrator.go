@@ -433,6 +433,11 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	slotGap := time.Hour / time.Duration(TestsPerVMPerHour+1)
 	downloads := 0
 
+	// Progress/ETA gauges for live introspection (-debug-addr). Driven by
+	// the wall clock only; see setProgress for the no-feedback invariant.
+	wallStart := time.Now()
+	metrics.setProgress(0, totalHours, wallStart)
+
 	for hour := 0; hour < totalHours; hour++ {
 		hourStart := cfg.Start.Add(time.Duration(hour) * time.Hour)
 		rep.Hours++
@@ -487,6 +492,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			metrics.incBreakerOpenRounds()
 			breaker.ObserveRound(len(tasks), 0)
 			metrics.setBreakerState(breaker.State())
+			metrics.setProgress(hour+1, totalHours, wallStart)
 			continue
 		}
 		phaseStart = time.Now()
@@ -587,6 +593,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			trSpan.End()
 			metrics.phaseDone("traceroute", phaseStart)
 		}
+		metrics.setProgress(hour+1, totalHours, wallStart)
 	}
 	o.platform.AccrueVMHours(totalVMs, time.Duration(totalHours)*time.Hour, cloud.N1Standard2)
 	for _, w := range workers {

@@ -24,11 +24,36 @@ import (
 	"sync"
 	"time"
 
+	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/speedtest"
 )
 
 // MaxBlock bounds a single DOWNLOAD/UPLOAD request (64 MiB).
 const MaxBlock = 64 << 20
+
+// obsCmdDur times the server side of each protocol command, by verb. The
+// verb set is fixed (unknown verbs collapse to "other") so label
+// cardinality stays bounded under hostile input; updates no-op while the
+// obs registry is disabled.
+var obsCmdDur = func() map[string]*obs.Histogram {
+	m := make(map[string]*obs.Histogram, 6)
+	for _, c := range []string{"HI", "PING", "DOWNLOAD", "UPLOAD", "QUIT", "other"} {
+		m[c] = obs.Default().Histogram("ookla_command_duration_ns", "cmd", c)
+	}
+	return m
+}()
+
+// observeCmd records one completed command's server-side duration.
+func observeCmd(cmd string, start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	h := obsCmdDur[cmd]
+	if h == nil {
+		h = obsCmdDur["other"]
+	}
+	h.Observe(float64(time.Since(start)))
+}
 
 // Server is an Ookla-protocol speed test server.
 type Server struct {
@@ -179,7 +204,15 @@ func (s *Server) handle(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
-		switch strings.ToUpper(fields[0]) {
+		cmd := strings.ToUpper(fields[0])
+		// Only completed commands are timed: a handler that returns mid-
+		// command (client gone, QUIT) records nothing, so the histograms
+		// describe successful serving-path work.
+		var cmdStart time.Time
+		if obs.Enabled() {
+			cmdStart = time.Now()
+		}
+		switch cmd {
 		case "HI":
 			fmt.Fprintf(bw, "HELLO 2.9 (clasp)\n")
 		case "PING":
@@ -215,6 +248,7 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			fmt.Fprintf(bw, "ERROR unknown command\n")
 		}
+		observeCmd(cmd, cmdStart)
 		if err := bw.Flush(); err != nil {
 			return
 		}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"github.com/clasp-measurement/clasp/internal/obs"
+)
+
+// RegionProgress is one region's live campaign state, assembled from the
+// orchestrator's obs series (see DESIGN.md §8 and §13).
+type RegionProgress struct {
+	Region     string             `json:"region"`
+	Scheduled  uint64             `json:"scheduled"`
+	Completed  uint64             `json:"completed"`
+	Failed     uint64             `json:"failed"`
+	Retried    uint64             `json:"retried"`
+	Dropped    uint64             `json:"dropped"`
+	HoursTotal float64            `json:"hours_total"`
+	HoursDone  float64            `json:"hours_done"`
+	ETASeconds float64            `json:"eta_seconds"`
+	Breaker    string             `json:"breaker"`
+	PhaseSecs  map[string]float64 `json:"phase_seconds,omitempty"`
+}
+
+// ProgressResponse is the JSON document served at /progress.
+type ProgressResponse struct {
+	Regions []RegionProgress `json:"regions"`
+}
+
+// breakerName renders the faults.BreakerState gauge values.
+func breakerName(v float64) string {
+	switch v {
+	case 1:
+		return "half-open"
+	case 2:
+		return "open"
+	default:
+		return "closed"
+	}
+}
+
+// BuildProgress assembles per-region progress from a registry snapshot.
+// Regions are discovered from any campaign_* series carrying a region
+// label, so it works mid-campaign with whatever has registered so far.
+func BuildProgress(reg *obs.Registry) ProgressResponse {
+	byRegion := make(map[string]*RegionProgress)
+	get := func(labels []string) (*RegionProgress, string) {
+		var region, phase string
+		for i := 0; i+1 < len(labels); i += 2 {
+			switch labels[i] {
+			case "region":
+				region = labels[i+1]
+			case "phase":
+				phase = labels[i+1]
+			}
+		}
+		if region == "" {
+			return nil, ""
+		}
+		rp := byRegion[region]
+		if rp == nil {
+			rp = &RegionProgress{Region: region, Breaker: "closed"}
+			byRegion[region] = rp
+		}
+		return rp, phase
+	}
+	for _, s := range reg.Samples() {
+		rp, phase := get(s.Labels)
+		if rp == nil {
+			continue
+		}
+		switch s.Name {
+		case "campaign_tests_scheduled_total":
+			rp.Scheduled = s.Counter
+		case "campaign_tests_completed_total":
+			rp.Completed = s.Counter
+		case "campaign_tests_failed_total":
+			rp.Failed = s.Counter
+		case "campaign_tests_retried_total":
+			rp.Retried = s.Counter
+		case "campaign_tests_dropped_total":
+			rp.Dropped = s.Counter
+		case "campaign_hours_total":
+			rp.HoursTotal = s.Value
+		case "campaign_hours_done":
+			rp.HoursDone = s.Value
+		case "campaign_eta_seconds":
+			rp.ETASeconds = s.Value
+		case "campaign_breaker_state":
+			rp.Breaker = breakerName(s.Value)
+		case "campaign_phase_seconds_total":
+			if phase != "" {
+				if rp.PhaseSecs == nil {
+					rp.PhaseSecs = make(map[string]float64)
+				}
+				rp.PhaseSecs[phase] = s.Value
+			}
+		}
+	}
+	resp := ProgressResponse{Regions: make([]RegionProgress, 0, len(byRegion))}
+	for _, rp := range byRegion {
+		resp.Regions = append(resp.Regions, *rp)
+	}
+	sort.Slice(resp.Regions, func(i, j int) bool { return resp.Regions[i].Region < resp.Regions[j].Region })
+	return resp
+}
+
+// ProgressHandler serves BuildProgress as JSON — the live answer to "how
+// far along is this campaign" that previously required waiting for exit.
+type ProgressHandler struct {
+	Registry *obs.Registry
+}
+
+func (h *ProgressHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(BuildProgress(h.Registry))
+}

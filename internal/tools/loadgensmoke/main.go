@@ -1,0 +1,159 @@
+// Command loadgensmoke is the CI gate for the serving-path telemetry
+// pipeline: it boots the full speedtestd daemon in-process on ephemeral
+// ports, fires a concurrent burst of real-protocol clients at it, and then
+// asserts that (1) the burst succeeded, (2) the daemon's per-route latency
+// histograms moved, (3) /debug/obs/history serves well-formed windowed
+// JSON over the scraped self-store, and (4) the percentiles loadgen
+// reconstructs from that history are sane. It exits nonzero with a
+// diagnostic on any violation.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/daemon"
+	"github.com/clasp-measurement/clasp/internal/loadgen"
+	"github.com/clasp-measurement/clasp/internal/speedtest/ndt7"
+	"github.com/clasp-measurement/clasp/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgensmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("loadgensmoke: OK")
+}
+
+func run() error {
+	d, err := daemon.Start(daemon.Config{
+		OoklaAddr:      "127.0.0.1:0",
+		HTTPAddr:       "127.0.0.1:0",
+		NDT7Duration:   50 * time.Millisecond,
+		ScrapeInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = d.Shutdown(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := loadgen.Run(ctx, loadgen.Config{
+		HTTPAddr:  d.HTTPAddr().String(),
+		OoklaAddr: d.OoklaAddr().String(),
+		Clients:   24,
+		PerClient: 2,
+		Duration:  50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d/%d tests failed under load: %v", res.Failed, res.Requested, res.Errors)
+	}
+	if res.Succeeded != res.Requested {
+		return fmt.Errorf("succeeded %d != requested %d", res.Succeeded, res.Requested)
+	}
+
+	// Per-route serving-path histograms must be non-zero for both HTTP
+	// platforms, with finite positive percentiles.
+	want := map[string]bool{ndt7.DownloadPath: false, "/speedtest/download": false}
+	for _, q := range res.HTTP {
+		route := q.Tags["route"]
+		if _, ok := want[route]; ok && q.Count > 0 {
+			want[route] = true
+		}
+		if q.Count > 0 {
+			for _, p := range []float64{q.P50, q.P90, q.P99} {
+				if math.IsNaN(p) || p <= 0 {
+					return fmt.Errorf("route %q: bad percentile %v with count %d", route, p, q.Count)
+				}
+			}
+			if q.P50 > q.P99 {
+				return fmt.Errorf("route %q: p50 %v > p99 %v", route, q.P50, q.P99)
+			}
+		}
+	}
+	for route, seen := range want {
+		if !seen {
+			return fmt.Errorf("no serving-path histogram activity for route %q", route)
+		}
+	}
+	// The Ookla TCP path records through its own command family.
+	sawPing := false
+	for _, q := range res.Ookla {
+		if q.Tags["cmd"] == "PING" && q.Count > 0 {
+			sawPing = true
+		}
+	}
+	if !sawPing {
+		return fmt.Errorf("no ookla PING command histogram activity")
+	}
+
+	// /debug/obs/history must serve well-formed windowed JSON directly:
+	// every series tagged, every point carrying the scraped cum field,
+	// timestamps inside the requested window.
+	base := "http://" + d.HTTPAddr().String()
+	from := time.Now().Add(-time.Minute)
+	url := fmt.Sprintf("%s/debug/obs/history?measurement=%s_bucket&from=%d",
+		base, loadgen.HTTPDurationFamily, from.Unix())
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		return fmt.Errorf("history endpoint: HTTP %d", resp.StatusCode)
+	}
+	var hr telemetry.HistoryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		return fmt.Errorf("history response is not valid JSON: %w", err)
+	}
+	if hr.Measurement != loadgen.HTTPDurationFamily+"_bucket" {
+		return fmt.Errorf("history echoes measurement %q", hr.Measurement)
+	}
+	if len(hr.Series) == 0 {
+		return fmt.Errorf("history holds no scraped bucket series")
+	}
+	for _, s := range hr.Series {
+		if s.Tags["le"] == "" || s.Tags["route"] == "" || s.Tags["status"] == "" {
+			return fmt.Errorf("bucket series missing le/route/status tags: %v", s.Tags)
+		}
+		if len(s.Points) == 0 {
+			return fmt.Errorf("series %v has no points", s.Tags)
+		}
+		for _, p := range s.Points {
+			if _, ok := p.Fields["cum"]; !ok {
+				return fmt.Errorf("series %v point lacks cum field: %v", s.Tags, p.Fields)
+			}
+			if p.TimeNs < from.UnixNano() {
+				return fmt.Errorf("series %v point at %d predates window start %d", s.Tags, p.TimeNs, from.UnixNano())
+			}
+		}
+	}
+
+	// A bad measurement parameter must yield a structured 400, not a 500.
+	resp, err = http.Get(base + "/debug/obs/history")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		return fmt.Errorf("missing-measurement request: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	fmt.Printf("loadgensmoke: %d tests, %d http groups, %d ookla groups, %d history series\n",
+		res.Succeeded, len(res.HTTP), len(res.Ookla), len(hr.Series))
+	return nil
+}

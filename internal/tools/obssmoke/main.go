@@ -2,8 +2,11 @@
 // tiny metrics-enabled campaign, then asserts that the Prometheus dump
 // parses, contains the core series with nonzero values, has no duplicate
 // series, and agrees with the JSON snapshot (no unregistered or orphaned
-// metric families on either side). It exits nonzero with a diagnostic on
-// any violation.
+// metric families on either side). It then scrapes the registry into a
+// real self-telemetry store and validates the scraped-series naming
+// contract (counter value/rate fields, histogram family + _bucket/le/cum
+// shape, tsdb ident validity). It exits nonzero with a diagnostic on any
+// violation.
 package main
 
 import (
@@ -13,9 +16,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	clasp "github.com/clasp-measurement/clasp"
 	"github.com/clasp-measurement/clasp/internal/obs"
+	"github.com/clasp-measurement/clasp/internal/telemetry"
+	"github.com/clasp-measurement/clasp/internal/tsdb"
 )
 
 func main() {
@@ -111,9 +117,81 @@ func run() error {
 		return fmt.Errorf("prom dump and JSON snapshot disagree on families: %v", missing)
 	}
 
-	fmt.Printf("obssmoke: %d tests, %d prom series, %d families, flowcache hit rate %.1f%%\n",
-		res.Report.Tests, len(sums), len(promFamilies),
+	// Scrape the post-campaign registry into a real self-telemetry store
+	// and validate the scraped-series naming contract: counters and gauges
+	// keep their family name and gain value (+rate for counters) fields;
+	// histograms produce the family (count/sum/rate) plus a "<family>_bucket"
+	// measurement whose series carry parseable le tags and the cum field.
+	// Inserting through the real store also proves every scraped name,
+	// tag and field passes tsdb ident validation.
+	pipe := telemetry.NewPipeline(telemetry.PipelineConfig{})
+	if err := pipe.Cycle(); err != nil {
+		return fmt.Errorf("scrape cycle over campaign registry: %w", err)
+	}
+	scraped := 0
+	for _, s := range obs.Default().Samples() {
+		series := pipe.Store.Query(s.Name, nil, time.Time{}, time.Time{})
+		if len(series) == 0 {
+			return fmt.Errorf("scrape: family %s has no self-store series", s.Name)
+		}
+		scraped++
+		switch s.Kind {
+		case obs.KindCounter:
+			if err := wantFields(series, "value", "rate"); err != nil {
+				return fmt.Errorf("scrape: counter %s: %w", s.Name, err)
+			}
+		case obs.KindGauge:
+			if err := wantFields(series, "value"); err != nil {
+				return fmt.Errorf("scrape: gauge %s: %w", s.Name, err)
+			}
+		case obs.KindHistogram:
+			if err := wantFields(series, "count", "sum", "rate"); err != nil {
+				return fmt.Errorf("scrape: histogram %s: %w", s.Name, err)
+			}
+			if s.Count == 0 {
+				continue // no observations, no bucket series
+			}
+			buckets := pipe.Store.Query(s.Name+"_bucket", nil, time.Time{}, time.Time{})
+			if len(buckets) == 0 {
+				return fmt.Errorf("scrape: histogram %s has no _bucket series", s.Name)
+			}
+			for _, b := range buckets {
+				le := b.Tags["le"]
+				if le == "" {
+					return fmt.Errorf("scrape: %s_bucket series lacks le tag: %v", s.Name, b.Tags)
+				}
+				if le != "+Inf" {
+					if _, err := strconv.ParseFloat(le, 64); err != nil {
+						return fmt.Errorf("scrape: %s_bucket has unparseable le %q", s.Name, le)
+					}
+				}
+				if err := wantFields([]tsdb.Series{b}, "cum"); err != nil {
+					return fmt.Errorf("scrape: %s_bucket: %w", s.Name, err)
+				}
+			}
+		}
+	}
+	if scraped == 0 {
+		return fmt.Errorf("scrape produced no series")
+	}
+
+	fmt.Printf("obssmoke: %d tests, %d prom series, %d families, %d scraped, flowcache hit rate %.1f%%\n",
+		res.Report.Tests, len(sums), len(promFamilies), scraped,
 		100*sums["netsim_flowcache_hits_total"]/(sums["netsim_flowcache_hits_total"]+sums["netsim_flowcache_misses_total"]))
+	return nil
+}
+
+// wantFields asserts every point of every series carries the named fields.
+func wantFields(series []tsdb.Series, names ...string) error {
+	for _, sr := range series {
+		for _, p := range sr.Points {
+			for _, n := range names {
+				if _, ok := p.Fields[n]; !ok {
+					return fmt.Errorf("series %v point lacks field %q (has %v)", sr.Tags, n, p.Fields)
+				}
+			}
+		}
+	}
 	return nil
 }
 

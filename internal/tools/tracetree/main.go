@@ -1,0 +1,243 @@
+// Command tracetree reconstructs the span hierarchy from a clasp trace
+// log (-tracelog JSONL: one {"span","id","parent","start","dur_ns","attrs"}
+// object per completed span) and renders the campaign tree — campaign →
+// warm/deploy/round/traceroute → vm-hour → test — with per-phase rollups
+// and the critical path.
+//
+// Usage:
+//
+//	tracetree [-depth N] trace.jsonl
+//
+// Sibling spans sharing a name are collapsed into one rollup line (count,
+// total, mean, max), so a month-long campaign's 720 rounds render as a
+// handful of lines instead of a forest. The critical path descends from
+// each root through its slowest child, showing where the wall-clock time
+// of the campaign actually went.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+func main() {
+	depth := flag.Int("depth", 4, "maximum tree depth to render")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracetree [-depth N] <trace.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetree:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	forest, err := Parse(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracetree:", err)
+		os.Exit(1)
+	}
+	Render(os.Stdout, forest, *depth)
+}
+
+// Event is one trace log line.
+type Event struct {
+	Span   string            `json:"span"`
+	ID     uint64            `json:"id"`
+	Parent uint64            `json:"parent"`
+	Start  time.Time         `json:"start"`
+	DurNS  int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs"`
+}
+
+// Node is one reconstructed span with its children attached.
+type Node struct {
+	Event
+	Children []*Node
+}
+
+// Forest is the reconstructed hierarchy: every span whose parent id is 0
+// or references a span missing from the log becomes a root.
+type Forest struct {
+	Roots  []*Node
+	Spans  int
+	Orphan int // spans re-rooted because their parent never completed
+}
+
+// Parse reads a trace log and reassembles the span tree from (id, parent).
+// Children complete (and are written) before their parents, so linking is
+// a two-pass job: index every event, then attach.
+func Parse(r io.Reader) (*Forest, error) {
+	byID := make(map[uint64]*Node)
+	var order []*Node
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		if ev.ID == 0 {
+			return nil, fmt.Errorf("line %d: span %q has no id", line, ev.Span)
+		}
+		if byID[ev.ID] != nil {
+			return nil, fmt.Errorf("line %d: duplicate span id %d", line, ev.ID)
+		}
+		n := &Node{Event: ev}
+		byID[ev.ID] = n
+		order = append(order, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	f := &Forest{Spans: len(order)}
+	for _, n := range order {
+		if n.Parent == 0 {
+			f.Roots = append(f.Roots, n)
+			continue
+		}
+		p := byID[n.Parent]
+		if p == nil {
+			// The parent never wrote its end event (crash, truncation);
+			// keep the subtree visible instead of dropping it.
+			f.Orphan++
+			f.Roots = append(f.Roots, n)
+			continue
+		}
+		p.Children = append(p.Children, n)
+	}
+	// Children were appended in completion order; present them in start
+	// order so the tree reads chronologically.
+	var sortRec func(n *Node)
+	sortRec = func(n *Node) {
+		sort.SliceStable(n.Children, func(i, j int) bool {
+			return n.Children[i].Start.Before(n.Children[j].Start)
+		})
+		for _, c := range n.Children {
+			sortRec(c)
+		}
+	}
+	sort.SliceStable(f.Roots, func(i, j int) bool { return f.Roots[i].Start.Before(f.Roots[j].Start) })
+	for _, root := range f.Roots {
+		sortRec(root)
+	}
+	return f, nil
+}
+
+// rollup aggregates same-named sibling spans.
+type rollup struct {
+	name     string
+	count    int
+	total    time.Duration
+	max      time.Duration
+	children []*Node // all members' children, merged for the next level
+	first    *Node
+}
+
+// rollups groups a sibling list by span name, preserving first-start order.
+func rollups(siblings []*Node) []*rollup {
+	byName := make(map[string]*rollup)
+	var out []*rollup
+	for _, n := range siblings {
+		r := byName[n.Span]
+		if r == nil {
+			r = &rollup{name: n.Span, first: n}
+			byName[n.Span] = r
+			out = append(out, r)
+		}
+		r.count++
+		d := time.Duration(n.DurNS)
+		r.total += d
+		if d > r.max {
+			r.max = d
+		}
+		r.children = append(r.children, n.Children...)
+	}
+	return out
+}
+
+// Render writes the collapsed tree, per-phase totals and critical path.
+func Render(w io.Writer, f *Forest, maxDepth int) {
+	fmt.Fprintf(w, "%d spans, %d roots", f.Spans, len(f.Roots))
+	if f.Orphan > 0 {
+		fmt.Fprintf(w, " (%d orphaned: parent span never completed)", f.Orphan)
+	}
+	fmt.Fprintln(w)
+	for _, root := range f.Roots {
+		fmt.Fprintf(w, "\n%s%s  %s\n", root.Span, attrSuffix(root.Attrs), time.Duration(root.DurNS).Round(time.Microsecond))
+		renderLevel(w, root.Children, "  ", 1, maxDepth, time.Duration(root.DurNS))
+		fmt.Fprintf(w, "\ncritical path:\n")
+		for i, n := range criticalPath(root) {
+			fmt.Fprintf(w, "  %s%s%s  %s\n", strings.Repeat("  ", i), n.Span, attrSuffix(n.Attrs), time.Duration(n.DurNS).Round(time.Microsecond))
+		}
+	}
+}
+
+func renderLevel(w io.Writer, siblings []*Node, indent string, depth, maxDepth int, parentDur time.Duration) {
+	if depth > maxDepth || len(siblings) == 0 {
+		return
+	}
+	for _, r := range rollups(siblings) {
+		share := ""
+		if parentDur > 0 {
+			share = fmt.Sprintf(" (%.0f%% of parent)", 100*float64(r.total)/float64(parentDur))
+		}
+		if r.count == 1 {
+			fmt.Fprintf(w, "%s%s%s  %s%s\n", indent, r.name, attrSuffix(r.first.Attrs), r.total.Round(time.Microsecond), share)
+		} else {
+			fmt.Fprintf(w, "%s%s ×%d  total %s, mean %s, max %s%s\n",
+				indent, r.name, r.count, r.total.Round(time.Microsecond),
+				(r.total / time.Duration(r.count)).Round(time.Microsecond),
+				r.max.Round(time.Microsecond), share)
+		}
+		renderLevel(w, r.children, indent+"  ", depth+1, maxDepth, r.total)
+	}
+}
+
+// criticalPath descends from root through the slowest child at each level:
+// the chain of spans that dominated the campaign's wall-clock time.
+func criticalPath(root *Node) []*Node {
+	path := []*Node{root}
+	n := root
+	for len(n.Children) > 0 {
+		slowest := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.DurNS > slowest.DurNS {
+				slowest = c
+			}
+		}
+		path = append(path, slowest)
+		n = slowest
+	}
+	return path
+}
+
+// attrSuffix renders span attributes as {k=v ...}, keys sorted.
+func attrSuffix(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+attrs[k])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

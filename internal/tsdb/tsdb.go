@@ -142,6 +142,44 @@ func (s *Store) BlockStats() (blocks, points, bytes int) {
 	return blocks, points, bytes
 }
 
+// DropBefore discards history older than cutoff and returns the number of
+// points removed — the retention knob for long-lived self-telemetry stores.
+// Granularity is deliberately coarse on the sealed side: a compressed block
+// is dropped only when its entire time range precedes the cutoff (blocks
+// are immutable; splitting one would mean decode + re-seal). The mutable
+// tail drops its strict prefix of points before the cutoff. Series entries
+// themselves are never removed, even when emptied: interned Handles hold
+// *Series pointers, and deleting the map entry would silently divorce a
+// handle's future inserts from queries.
+func (s *Store) DropBefore(cutoff time.Time) int {
+	cut := cutoff.UnixNano()
+	dropped := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sr := range sh.series {
+			if len(sr.blocks) > 0 {
+				keep := sr.blocks[:0:0] // fresh backing; snapshots may share the old one
+				for _, b := range sr.blocks {
+					if b.maxNs < cut {
+						dropped += b.n
+						continue
+					}
+					keep = append(keep, b)
+				}
+				sr.blocks = keep
+			}
+			idx := sort.Search(len(sr.Points), func(j int) bool { return !sr.Points[j].Time.Before(cutoff) })
+			if idx > 0 {
+				dropped += idx
+				sr.Points = append(sr.Points[:0:0], sr.Points[idx:]...)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
 func seriesKey(measurement string, tags Tags) string {
 	return measurement + tags.canonical()
 }
