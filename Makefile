@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke loadgen-smoke bench-check ci
+.PHONY: build test race vet fmt-check cover-check bench bench-all bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke loadgen-smoke resume-smoke bench-check ci
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,21 @@ fmt-check:
 # race detector on small CI machines (the default is 10m per package).
 race:
 	$(GO) test -race -timeout 20m ./...
+
+# cover-check enforces the statement-coverage floor on the checkpoint
+# package — the code whose whole job is surviving kills, where an
+# untested branch is a lost campaign. The floor is a checked-in constant:
+# raising coverage ratchets it, lowering it is a reviewed decision.
+CHECKPOINT_COVER_MIN = 80.0
+
+cover-check:
+	@profile=$$(mktemp); \
+	$(GO) test -count=1 -coverprofile=$$profile ./internal/checkpoint/ >/dev/null || { rm -f $$profile; exit 1; }; \
+	total=$$($(GO) tool cover -func=$$profile | awk '/^total:/ { gsub("%","",$$3); print $$3 }'); \
+	rm -f $$profile; \
+	awk -v got="$$total" -v min="$(CHECKPOINT_COVER_MIN)" 'BEGIN { \
+		if (got+0 < min+0) { printf "cover-check: internal/checkpoint coverage %.1f%% is below the %.1f%% floor\n", got, min; exit 1 } \
+		printf "cover-check: OK: internal/checkpoint coverage %.1f%% (floor %.1f%%)\n", got, min }'
 
 # bench runs the hot-path benchmarks (steady-state Measure, cold Measure,
 # sharded TSDB ingest) and records ns/op and allocs/op — joined with the
@@ -119,6 +134,15 @@ block-smoke:
 loadgen-smoke:
 	$(GO) run ./internal/tools/loadgensmoke
 
+# resume-smoke is the kill-matrix checkpoint/resume gate: it builds the
+# real clasp binary, SIGKILLs a checkpointing campaign at each of three
+# deterministic points (mid-round, block-flush, round-boundary — armed
+# via CLASP_KILL_POINT, see internal/killpoint), resumes each through
+# `clasp resume`, and fails unless every resumed run's stdout is
+# byte-identical to a never-killed run — at parallelism 1 and 4.
+resume-smoke:
+	$(GO) run ./internal/tools/resumesmoke
+
 # bench-check re-runs the recorded benchmarks and compares them against
 # the committed BENCH_*.json records: more than +25% ns/op or any rise in
 # allocs/op fails the build (timings get machine-noise slack; allocation
@@ -135,9 +159,11 @@ bench-check:
 		-against BENCH_analysis.json -against BENCH_tsdb.json
 
 # ci is the gate for every change: formatting, tier-1 build + tests,
-# static checks, the full suite under the race detector, a benchmark
-# smoke run, the observability, fault-injection, analysis-determinism,
-# scenario-golden, storage-determinism and serving-path-telemetry smoke
-# gates, and the benchmark regression check against the committed
-# BENCH_*.json records.
-ci: fmt-check build test vet race bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke loadgen-smoke bench-check
+# static checks, the checkpoint coverage floor, the full suite under the
+# race detector, a benchmark smoke run, the observability,
+# fault-injection, analysis-determinism, scenario-golden,
+# storage-determinism, serving-path-telemetry and kill-matrix
+# checkpoint/resume smoke gates, and the benchmark regression check
+# against the committed BENCH_*.json records. It is the local superset of
+# the CI workflow's parallel jobs (.github/workflows/ci.yml).
+ci: fmt-check build test vet cover-check race bench-smoke obs-smoke fault-smoke analysis-smoke scenario-smoke block-smoke loadgen-smoke resume-smoke bench-check

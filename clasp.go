@@ -82,6 +82,18 @@ type Options struct {
 	// logs ("" = the system temp dir). Spill files are unlinked at
 	// creation, so they vanish with the process.
 	SpillDir string
+	// CheckpointDir enables campaign checkpoint/resume: each campaign
+	// periodically commits its progress and record stream into an
+	// atomically renamed checkpoint under this directory, and a killed
+	// process can be continued with `clasp resume` — producing output
+	// byte-identical to a never-killed run. "" disables checkpointing.
+	CheckpointDir string
+	// CheckpointEvery commits a checkpoint every N completed campaign
+	// rounds (hours); CheckpointVMHours instead commits once N VM-hours
+	// accrue since the last checkpoint. With CheckpointDir set and both
+	// zero, the campaign checkpoints every round.
+	CheckpointEvery   int
+	CheckpointVMHours int
 }
 
 // Platform is a fully wired CLASP instance over the simulated Internet and
@@ -100,14 +112,17 @@ func New(opts Options) (*Platform, error) {
 		scale = 0.25
 	}
 	eng, err := core.New(core.Options{
-		Seed:            opts.Seed,
-		Scale:           scale,
-		Parallelism:     opts.Parallelism,
-		FaultProfile:    opts.FaultProfile,
-		CaptureEvery:    opts.CaptureEvery,
-		TracerouteEvery: opts.TracerouteEvery,
-		MaxMemoryMB:     opts.MaxMemoryMB,
-		SpillDir:        opts.SpillDir,
+		Seed:              opts.Seed,
+		Scale:             scale,
+		Parallelism:       opts.Parallelism,
+		FaultProfile:      opts.FaultProfile,
+		CaptureEvery:      opts.CaptureEvery,
+		TracerouteEvery:   opts.TracerouteEvery,
+		MaxMemoryMB:       opts.MaxMemoryMB,
+		SpillDir:          opts.SpillDir,
+		CheckpointDir:     opts.CheckpointDir,
+		CheckpointEvery:   opts.CheckpointEvery,
+		CheckpointVMHours: opts.CheckpointVMHours,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("clasp: %w", err)

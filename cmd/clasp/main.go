@@ -18,6 +18,10 @@
 //	                                  concurrently over one shared topology;
 //	                                  output is byte-identical to running
 //	                                  each scenario alone
+//	clasp resume <checkpoint>         continue a campaign from a checkpoint
+//	                                  directory written by -checkpoint-dir;
+//	                                  the finished run's output is
+//	                                  byte-identical to a never-killed run
 //
 // Flags (ignored by run/fleet, which read everything from the spec):
 //
@@ -39,6 +43,13 @@
 //	                byte-identical reports
 //	-spill-dir D    directory for spilled record logs (default: the system
 //	                temp dir); spill files are unlinked at creation
+//	-checkpoint-dir D      enable campaign checkpointing: commit progress and
+//	                records under D by atomic rename; continue a killed run
+//	                with `clasp resume D`
+//	-checkpoint-every N    checkpoint every N campaign rounds (default 1
+//	                once -checkpoint-dir is set)
+//	-checkpoint-vm-hours N checkpoint once N VM-hours accrue since the last
+//	                checkpoint, instead of a round cadence
 //	-metrics-out F  enable metrics; write a Prometheus text dump to F and a
 //	                JSON snapshot to F.json when the command finishes
 //	-debug-addr A   enable metrics and serve live introspection on A while
@@ -61,6 +72,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"github.com/clasp-measurement/clasp/internal/checkpoint"
 	"github.com/clasp-measurement/clasp/internal/core"
 	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/obs"
@@ -79,7 +91,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: clasp <report|select|campaign|costs|run|fleet> ... (see -h)")
+		return fmt.Errorf("usage: clasp <report|select|campaign|costs|run|fleet|resume> ... (see -h)")
 	}
 	cmd, rest := args[0], args[1:]
 
@@ -93,6 +105,9 @@ func run(args []string) error {
 		fmt.Sprintf("fault-injection profile (%s)", strings.Join(faults.Names(), ", ")))
 	maxMemory := fs.Int("max-memory", 0, "campaign record memory budget in MB (0 = unbounded); larger campaigns stream through a compressed spillable log")
 	spillDir := fs.String("spill-dir", "", "directory for spilled record logs (default: the system temp dir)")
+	checkpointDir := fs.String("checkpoint-dir", "", "enable campaign checkpointing into this directory; continue a killed run with `clasp resume`")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint every N campaign rounds (default 1 once -checkpoint-dir is set)")
+	checkpointVMHours := fs.Int("checkpoint-vm-hours", 0, "checkpoint once N VM-hours accrue since the last checkpoint")
 	metricsOut := fs.String("metrics-out", "", "enable metrics and write Prometheus text to this file (JSON snapshot beside it as <file>.json)")
 	debugAddr := fs.String("debug-addr", "", "enable metrics and serve live introspection (/metrics, /progress, /debug/obs/history, /debug/pprof/) on this address while the command runs")
 	tracelog := fs.String("tracelog", "", "enable tracing and write span events as JSON lines to this file")
@@ -186,14 +201,23 @@ func run(args []string) error {
 	switch cmd {
 	case "run", "fleet":
 		cmdErr = scenarioCmd(cmd, positional, out)
+	case "resume":
+		// The engine is rebuilt from the checkpoint's campaign identity;
+		// only the runtime knobs (parallelism, memory budget) come from
+		// flags — both may differ from the killed run without changing
+		// output.
+		cmdErr = resumeCmd(positional, out, *parallelism, *maxMemory, *spillDir)
 	default:
 		p, err := clasp.New(clasp.Options{
-			Seed:         *seed,
-			Scale:        *scale,
-			Parallelism:  *parallelism,
-			FaultProfile: *faultProfile,
-			MaxMemoryMB:  *maxMemory,
-			SpillDir:     *spillDir,
+			Seed:              *seed,
+			Scale:             *scale,
+			Parallelism:       *parallelism,
+			FaultProfile:      *faultProfile,
+			MaxMemoryMB:       *maxMemory,
+			SpillDir:          *spillDir,
+			CheckpointDir:     *checkpointDir,
+			CheckpointEvery:   *checkpointEvery,
+			CheckpointVMHours: *checkpointVMHours,
 		})
 		if err != nil {
 			return err
@@ -209,6 +233,66 @@ func run(args []string) error {
 		}
 	}
 	return cmdErr
+}
+
+// resumeCmd continues a checkpointed campaign to completion and prints the
+// finished run's report — byte-identical to what the uninterrupted command
+// would have printed.
+func resumeCmd(positional []string, out *os.File, parallelism, maxMemory int, spillDir string) error {
+	if len(positional) != 1 {
+		return fmt.Errorf("usage: clasp resume <checkpoint-dir>")
+	}
+	ck, err := checkpoint.Load(positional[0])
+	if err != nil {
+		return err
+	}
+	opts := core.ResumeOptions(ck.Meta.Campaign)
+	opts.Parallelism = parallelism
+	opts.MaxMemoryMB = maxMemory
+	opts.SpillDir = spillDir
+	eng, err := core.New(opts)
+	if err != nil {
+		return err
+	}
+	res, err := eng.ResumeCampaign(ck)
+	if err != nil {
+		return err
+	}
+	p := clasp.NewFromCore(eng)
+	if ck.Meta.Campaign.Kind == "differential" {
+		fmt.Fprintf(out, "Campaign: %d tests over %d hours with %d VMs\n",
+			res.Report.Tests, res.Report.Hours, res.Report.VMs)
+		tc, err := p.CompareTiers(res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "Tier comparison for %s over %d paired tests\n", tc.Region, tc.PairedTests)
+		fmt.Fprintf(out, "  standard faster: %.1f%% of downloads, %.1f%% of uploads\n",
+			tc.StdFasterDownload*100, tc.StdFasterUpload*100)
+		return nil
+	}
+	return printCampaign(out, p, res, true)
+}
+
+// printCampaign renders a finished campaign exactly like `clasp campaign`:
+// the orchestration summary, the resilience line when anything degraded,
+// and (optionally) the congestion report.
+func printCampaign(out *os.File, p *clasp.Platform, res *core.CampaignResult, congestion bool) error {
+	fmt.Fprintf(out, "Campaign: %d tests over %d hours with %d VMs\n",
+		res.Report.Tests, res.Report.Hours, res.Report.VMs)
+	if r := res.Report; r.Failed+r.Dropped+r.Retried+r.Preemptions+r.VMCreateRetries > 0 {
+		fmt.Fprintf(out, "Resilience: %d failed, %d retried, %d dropped, %d preemptions, %d create retries, %d breaker-open rounds\n",
+			r.Failed, r.Retried, r.Dropped, r.Preemptions, r.VMCreateRetries, r.BreakerOpenRounds)
+	}
+	if !congestion {
+		return nil
+	}
+	rep, err := p.CongestionReport(res)
+	if err != nil {
+		return err
+	}
+	clasp.WriteReport(out, rep)
+	return nil
 }
 
 // scenarioCmd runs the declarative-scenario subcommands.
@@ -260,18 +344,7 @@ func dispatch(cmd string, positional []string, p *clasp.Platform, eng *core.CLAS
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "Campaign: %d tests over %d hours with %d VMs\n",
-			res.Report.Tests, res.Report.Hours, res.Report.VMs)
-		if r := res.Report; r.Failed+r.Dropped+r.Retried+r.Preemptions+r.VMCreateRetries > 0 {
-			fmt.Fprintf(out, "Resilience: %d failed, %d retried, %d dropped, %d preemptions, %d create retries, %d breaker-open rounds\n",
-				r.Failed, r.Retried, r.Dropped, r.Preemptions, r.VMCreateRetries, r.BreakerOpenRounds)
-		}
-		rep, err := p.CongestionReport(res)
-		if err != nil {
-			return err
-		}
-		clasp.WriteReport(out, rep)
-		return nil
+		return printCampaign(out, p, res, true)
 
 	case "costs":
 		// All regions measure concurrently, like the real deployment.

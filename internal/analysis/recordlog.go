@@ -12,6 +12,7 @@ package analysis
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
@@ -164,7 +165,17 @@ func (l *RecordLog) internRegion(r string) int {
 // sealTail compresses the tail into one block. Column order: times,
 // server IDs, region indices, tiers, dirs, mbps, rtt, loss.
 func (l *RecordLog) sealTail() {
-	ms := l.tail
+	buf := encodeRecords(l.tail, l.internRegion)
+	l.blocks = append(l.blocks, logBlock{n: len(l.tail), data: buf, size: int64(len(buf))})
+	l.inlineBytes += len(buf)
+	l.tail = l.tail[:0]
+}
+
+// encodeRecords compresses one batch of records into block form, interning
+// regions through the supplied function. sealTail uses it against the log's
+// own table; WriteTo uses it with a copy so serialising a snapshot never
+// mutates the live log.
+func encodeRecords(ms []Measurement, internRegion func(string) int) []byte {
 	n := len(ms)
 	buf := make([]byte, 0, 20*n)
 	ts := make([]int64, n)
@@ -179,7 +190,7 @@ func (l *RecordLog) sealTail() {
 		prev = id
 	}
 	for i := range ms {
-		buf = colenc.AppendUvarint(buf, uint64(l.internRegion(ms[i].Region)))
+		buf = colenc.AppendUvarint(buf, uint64(internRegion(ms[i].Region)))
 	}
 	// Tier and direction are tiny enums; the common case packs both into
 	// one byte per record (flag 1). Out-of-range values fall back to two
@@ -216,9 +227,7 @@ func (l *RecordLog) sealTail() {
 		}
 		buf = colenc.AppendFloats(buf, vals)
 	}
-	l.blocks = append(l.blocks, logBlock{n: n, data: buf, size: int64(len(buf))})
-	l.inlineBytes += len(buf)
-	l.tail = l.tail[:0]
+	return buf
 }
 
 // decodeLogBlock reconstructs one block into dst (resliced). Scratch
@@ -371,3 +380,168 @@ func (c *logCursor) Next() []Measurement {
 
 // Reset rewinds the cursor to the first record.
 func (c *logCursor) Reset() { c.next = 0 }
+
+// Serialised record-log format (the campaign checkpoint's records sidecar):
+//
+//	header   8-byte magic "CLRL0001"
+//	regions  uvarint count, then per region: uvarint len, bytes
+//	blocks   uvarint count, then per block: uvarint pointCount,
+//	         uvarint dataLen, data (encodeRecords payload)
+//
+// The unsealed tail is serialised as one extra block, so a reader sees one
+// uniform block sequence; any regions first interned by the tail extend the
+// region table, which is why the table is built before the header goes out.
+const recordLogMagic = "CLRL0001"
+
+// WriteTo serialises the log's current state — sealed blocks, spilled or
+// in memory, plus the unsealed tail — so a reader reconstructs the exact
+// append sequence. It never mutates the log: the campaign checkpoint calls
+// it at every round boundary while the orchestrator keeps appending
+// afterwards. Not safe concurrently with Append.
+func (l *RecordLog) WriteTo(w io.Writer) (int64, error) {
+	// Extend a copy of the region table with anything only the tail has
+	// seen; the live table must not grow from a serialisation pass.
+	regions := append([]string(nil), l.regions...)
+	idx := make(map[string]int, len(regions))
+	for i, r := range regions {
+		idx[r] = i
+	}
+	intern := func(r string) int {
+		if i, ok := idx[r]; ok {
+			return i
+		}
+		i := len(regions)
+		regions = append(regions, r)
+		idx[r] = i
+		return i
+	}
+	var tailBlock []byte
+	if len(l.tail) > 0 {
+		tailBlock = encodeRecords(l.tail, intern)
+	}
+
+	cw := &recordLogCountWriter{w: w}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, recordLogMagic...)
+	buf = colenc.AppendUvarint(buf, uint64(len(regions)))
+	for _, r := range regions {
+		buf = colenc.AppendUvarint(buf, uint64(len(r)))
+		buf = append(buf, r...)
+	}
+	nBlocks := len(l.blocks)
+	if tailBlock != nil {
+		nBlocks++
+	}
+	buf = colenc.AppendUvarint(buf, uint64(nBlocks))
+	if _, err := cw.Write(buf); err != nil {
+		return cw.n, err
+	}
+	var readBuf []byte
+	for i := range l.blocks {
+		b := &l.blocks[i]
+		data := b.data
+		if data == nil {
+			if cap(readBuf) < int(b.size) {
+				readBuf = make([]byte, b.size)
+			}
+			readBuf = readBuf[:b.size]
+			if _, err := l.spill.ReadAt(readBuf, b.off); err != nil {
+				return cw.n, fmt.Errorf("analysis: record log spill read: %w", err)
+			}
+			data = readBuf
+		}
+		buf = colenc.AppendUvarint(buf[:0], uint64(b.n))
+		buf = colenc.AppendUvarint(buf, uint64(len(data)))
+		buf = append(buf, data...)
+		if _, err := cw.Write(buf); err != nil {
+			return cw.n, err
+		}
+	}
+	if tailBlock != nil {
+		buf = colenc.AppendUvarint(buf[:0], uint64(len(l.tail)))
+		buf = colenc.AppendUvarint(buf, uint64(len(tailBlock)))
+		buf = append(buf, tailBlock...)
+		if _, err := cw.Write(buf); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, nil
+}
+
+type recordLogCountWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *recordLogCountWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadRecordLog parses a log serialised by WriteTo back into memory. Every
+// block is decoded once to validate the payload and rebuild the record
+// count and first/last records, so a truncated or corrupt file fails here
+// with an error instead of panicking later in a cursor.
+func ReadRecordLog(r io.Reader) (*RecordLog, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading record log: %w", err)
+	}
+	if len(raw) < len(recordLogMagic) || string(raw[:len(recordLogMagic)]) != recordLogMagic {
+		return nil, fmt.Errorf("analysis: bad record log magic")
+	}
+	raw = raw[len(recordLogMagic):]
+	nr64, k := colenc.Uvarint(raw)
+	if k == 0 {
+		return nil, fmt.Errorf("analysis: truncated record log region table")
+	}
+	raw = raw[k:]
+	l := NewRecordLog()
+	for i := 0; i < int(nr64); i++ {
+		rl, k := colenc.Uvarint(raw)
+		if k == 0 || uint64(len(raw)-k) < rl {
+			return nil, fmt.Errorf("analysis: truncated record log region %d", i)
+		}
+		l.internRegion(string(raw[k : k+int(rl)]))
+		raw = raw[k+int(rl):]
+	}
+	nb64, k := colenc.Uvarint(raw)
+	if k == 0 {
+		return nil, fmt.Errorf("analysis: truncated record log block count")
+	}
+	raw = raw[k:]
+	var scratch []Measurement
+	var ts []int64
+	var vals []float64
+	for i := 0; i < int(nb64); i++ {
+		n64, k := colenc.Uvarint(raw)
+		if k == 0 {
+			return nil, fmt.Errorf("analysis: truncated record log block %d header", i)
+		}
+		raw = raw[k:]
+		dl, k := colenc.Uvarint(raw)
+		if k == 0 || uint64(len(raw)-k) < dl {
+			return nil, fmt.Errorf("analysis: truncated record log block %d data", i)
+		}
+		data := raw[k : k+int(dl)]
+		raw = raw[k+int(dl):]
+		scratch, ts, vals, err = l.decodeLogBlock(data, int(n64), scratch, ts, vals)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: record log block %d: %w", i, err)
+		}
+		if len(scratch) > 0 {
+			if l.count == 0 {
+				l.firstRec = scratch[0]
+			}
+			l.lastRec = scratch[len(scratch)-1]
+		}
+		l.count += int(n64)
+		l.blocks = append(l.blocks, logBlock{n: int(n64), data: data, size: int64(len(data))})
+		l.inlineBytes += len(data)
+	}
+	if len(raw) != 0 {
+		return nil, fmt.Errorf("analysis: %d trailing bytes after record log", len(raw))
+	}
+	return l, nil
+}

@@ -1,0 +1,399 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/faults"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+	"github.com/clasp-measurement/clasp/internal/orchestrator"
+)
+
+// randomProgress builds an arbitrary orchestrator snapshot from rng. All
+// floats are finite — encoding/json round-trips finite float64 exactly —
+// and optional fields flip between present and absent so both JSON shapes
+// are exercised.
+func randomProgress(rng *rand.Rand) orchestrator.Progress {
+	p := orchestrator.Progress{
+		NextHour:  rng.Intn(720),
+		Downloads: rng.Intn(100000),
+		Report: orchestrator.Report{
+			Region:            fmt.Sprintf("region-%d", rng.Intn(9)),
+			VMs:               rng.Intn(40),
+			Tests:             rng.Intn(1 << 20),
+			Hours:             rng.Intn(720),
+			Traceroutes:       rng.Intn(5000),
+			Captures:          rng.Intn(5000),
+			MaxVMCPUUtil:      rng.Float64(),
+			Failed:            rng.Intn(300),
+			Retried:           rng.Intn(300),
+			Dropped:           rng.Intn(300),
+			Preemptions:       rng.Intn(50),
+			VMCreateRetries:   rng.Intn(50),
+			BreakerOpenRounds: rng.Intn(50),
+		},
+		Breaker: faults.BreakerSnapshot{
+			State:      faults.BreakerState(rng.Intn(3)),
+			OpenRounds: rng.Intn(10),
+		},
+	}
+	if rng.Intn(2) == 0 {
+		p.VMCreateAttempts = map[string]int{}
+		for i, n := 0, rng.Intn(4)+1; i < n; i++ {
+			p.VMCreateAttempts[fmt.Sprintf("vm-%d", rng.Intn(32))] = rng.Intn(5) + 1
+		}
+	}
+	if rng.Intn(2) == 0 {
+		for i, n := 0, rng.Intn(3)+1; i < n; i++ {
+			p.DeadVMs = append(p.DeadVMs, rng.Intn(32))
+		}
+	}
+	return p
+}
+
+func randomCampaign(rng *rand.Rand) Campaign {
+	kinds := []string{"topology", "differential"}
+	return Campaign{
+		Kind:            kinds[rng.Intn(2)],
+		Region:          fmt.Sprintf("region-%d", rng.Intn(9)),
+		Days:            rng.Intn(30) + 1,
+		Seed:            rng.Int63(),
+		Scale:           rng.Float64(),
+		FaultProfile:    []string{"", "none", "flaky-vm", "storm"}[rng.Intn(4)],
+		CaptureEvery:    rng.Intn(500),
+		TracerouteEvery: rng.Intn(24),
+		MinSamples:      rng.Intn(100),
+		Every:           rng.Intn(5),
+		VMHours:         rng.Intn(200),
+	}
+}
+
+// testRecords builds n campaign-shaped measurements deterministically.
+func testRecords(n int) []analysis.Measurement {
+	rng := rand.New(rand.NewSource(7))
+	base := time.Date(2020, 5, 1, 0, 0, 0, 0, time.UTC)
+	regions := []string{"us-west1", "us-east1", "europe-west1"}
+	ms := make([]analysis.Measurement, n)
+	for i := range ms {
+		ms[i] = analysis.Measurement{
+			ServerID: i % 40,
+			Region:   regions[(i/40)%len(regions)],
+			Tier:     bgp.Tier(i % 2),
+			Dir:      netsim.Direction((i / 2) % 2),
+			Time:     base.Add(time.Duration(i/160) * time.Hour),
+			Mbps:     rng.Float64() * 900,
+			RTTms:    rng.Float64() * 80,
+			Loss:     3e-7,
+		}
+	}
+	return ms
+}
+
+func newTestLog(t *testing.T, ms []analysis.Measurement) *analysis.RecordLog {
+	t.Helper()
+	l := analysis.NewRecordLog()
+	for _, m := range ms {
+		l.Append(m)
+	}
+	return l
+}
+
+// TestCheckpointRoundTripProperty is the encode/decode property test: for
+// many random (Campaign, Progress, record prefix) triples, Commit → Load
+// reproduces the metadata bit-exactly (reflect.DeepEqual over structs that
+// include floats, maps and nested state) and Replay yields exactly the
+// records the snapshot covers, in order.
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	ms := testRecords(600)
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		camp := randomCampaign(rng)
+		prog := randomProgress(rng)
+
+		n := rng.Intn(len(ms) + 1)
+		log := newTestLog(t, ms[:n])
+		dir := t.TempDir()
+		w, err := NewWriter(dir, camp, log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(prog); err != nil {
+			t.Fatal(err)
+		}
+
+		ck, err := Load(dir)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if ck.Meta.Version != Version {
+			t.Fatalf("seed %d: version %d", seed, ck.Meta.Version)
+		}
+		if !reflect.DeepEqual(ck.Meta.Campaign, camp) {
+			t.Fatalf("seed %d: campaign drifted:\n in: %+v\nout: %+v", seed, camp, ck.Meta.Campaign)
+		}
+		if !reflect.DeepEqual(ck.Meta.Progress, prog) {
+			t.Fatalf("seed %d: progress drifted:\n in: %+v\nout: %+v", seed, prog, ck.Meta.Progress)
+		}
+		if ck.NumRecords() != n {
+			t.Fatalf("seed %d: NumRecords = %d, want %d", seed, ck.NumRecords(), n)
+		}
+		var got []analysis.Measurement
+		if err := ck.Replay(func(m analysis.Measurement) { got = append(got, m) }); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != n {
+			t.Fatalf("seed %d: replayed %d records, want %d", seed, len(got), n)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], ms[i]) {
+				t.Fatalf("seed %d: record %d drifted", seed, i)
+			}
+		}
+	}
+}
+
+// TestCheckpointSidecarAhead pins the partial-commit contract: when the
+// record sidecar runs ahead of the metadata (a kill between the two Commit
+// renames), Load succeeds with the old snapshot and Replay truncates the
+// extra records — the partial-round dedupe.
+func TestCheckpointSidecarAhead(t *testing.T) {
+	ms := testRecords(300)
+	log := newTestLog(t, ms[:200])
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Campaign{Kind: "topology", Region: "us-west1", Days: 1, Seed: 3}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := orchestrator.Progress{NextHour: 5}
+	if err := w.Commit(prog); err != nil {
+		t.Fatal(err)
+	}
+	// The next round emits 100 more records; the process dies after the
+	// sidecar rename but before the metadata rename.
+	for _, m := range ms[200:] {
+		log.Append(m)
+	}
+	if err := w.commitRecords(5); err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Meta.Progress.NextHour != 5 {
+		t.Fatalf("NextHour = %d, want the old snapshot's 5", ck.Meta.Progress.NextHour)
+	}
+	if ck.NumRecords() != 200 {
+		t.Fatalf("NumRecords = %d, want 200", ck.NumRecords())
+	}
+	var got []analysis.Measurement
+	if err := ck.Replay(func(m analysis.Measurement) { got = append(got, m) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 200 {
+		t.Fatalf("replayed %d records, want 200 (truncated)", len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], ms[i]) {
+			t.Fatalf("record %d drifted", i)
+		}
+	}
+
+	// The reverse — a sidecar shorter than the metadata expects — means
+	// the checkpoint directory was tampered with or the rename ordering
+	// violated; Load must refuse.
+	short := newTestLog(t, ms[:50])
+	w2, err := NewWriter(dir, Campaign{}, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.commitRecords(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("sidecar behind metadata should not load")
+	}
+}
+
+// TestCheckpointOverwrite pins that each Commit fully supersedes the last
+// and leaves no temp files behind.
+func TestCheckpointOverwrite(t *testing.T) {
+	ms := testRecords(120)
+	log := newTestLog(t, ms[:40])
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Campaign{Kind: "topology"}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range []int{40, 80, 120} {
+		for _, m := range ms[log.Len():n] {
+			log.Append(m)
+		}
+		if err := w.Commit(orchestrator.Progress{NextHour: i + 1}); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := Load(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ck.NumRecords() != n || ck.Meta.Progress.NextHour != i+1 {
+			t.Fatalf("commit %d: NumRecords=%d NextHour=%d, want %d/%d", i, ck.NumRecords(), ck.Meta.Progress.NextHour, n, i+1)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("checkpoint dir holds %d entries, want exactly {%s, %s}: %v", len(entries), MetaFile, RecordsFile, entries)
+	}
+}
+
+// TestLoadPathForms pins every accepted argument shape of Load/findMeta:
+// the metadata file itself, the checkpoint directory, and a parent with
+// exactly one checkpointed subdirectory — plus the error cases (none, or
+// several and ambiguous).
+func TestLoadPathForms(t *testing.T) {
+	commit := func(t *testing.T, dir string) {
+		t.Helper()
+		w, err := NewWriter(dir, Campaign{Kind: "topology", Region: "us-west1"}, newTestLog(t, testRecords(10)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Commit(orchestrator.Progress{NextHour: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	parent := t.TempDir()
+	sub := filepath.Join(parent, "us-west1-topology")
+	commit(t, sub)
+
+	for _, path := range []string{
+		filepath.Join(sub, MetaFile),
+		sub,
+		parent,
+	} {
+		ck, err := Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		if ck.Dir != sub || ck.NumRecords() != 10 {
+			t.Fatalf("Load(%s): Dir=%s NumRecords=%d", path, ck.Dir, ck.NumRecords())
+		}
+	}
+
+	if _, err := Load(t.TempDir()); err == nil || !strings.Contains(err.Error(), "no "+MetaFile) {
+		t.Fatalf("empty parent: got %v", err)
+	}
+	if _, err := Load(filepath.Join(parent, "absent")); err == nil {
+		t.Fatal("missing path should fail")
+	}
+
+	commit(t, filepath.Join(parent, "us-east1-topology"))
+	if _, err := Load(parent); err == nil || !strings.Contains(err.Error(), "pass one directly") {
+		t.Fatalf("ambiguous parent: got %v", err)
+	}
+}
+
+// TestWriterRefusals pins the writer's error paths: a nil record log, an
+// uncreatable directory, and a commit into a directory that has been
+// yanked out from under the writer (atomicWrite's temp-file failure).
+func TestWriterRefusals(t *testing.T) {
+	if _, err := NewWriter(t.TempDir(), Campaign{}, nil); err == nil {
+		t.Fatal("nil record log should be refused")
+	}
+
+	blocked := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocked, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWriter(filepath.Join(blocked, "sub"), Campaign{}, newTestLog(t, nil)); err == nil {
+		t.Fatal("uncreatable directory should be refused")
+	}
+
+	dir := filepath.Join(t.TempDir(), "ck")
+	w, err := NewWriter(dir, Campaign{}, newTestLog(t, testRecords(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dir() != dir {
+		t.Fatalf("Dir() = %s, want %s", w.Dir(), dir)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(orchestrator.Progress{NextHour: 1}); err == nil {
+		t.Fatal("commit into a removed directory should fail")
+	}
+}
+
+// TestReplayTruncatedStream pins Replay's own refusal: metadata demanding
+// more records than the loaded sidecar stream can deliver. (Load catches
+// this up front; the check in Replay guards the invariant independently.)
+func TestReplayTruncatedStream(t *testing.T) {
+	ck := &Checkpoint{
+		Meta: Meta{Version: Version, NumRecords: 10},
+		log:  newTestLog(t, testRecords(5)),
+	}
+	err := ck.Replay(func(analysis.Measurement) {})
+	if err == nil || !strings.Contains(err.Error(), "ended at 5 of 10") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestLoadRejectsBadCheckpoints pins the refusal paths: wrong format
+// version, unparsable metadata, and a missing records sidecar.
+func TestLoadRejectsBadCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, Campaign{Kind: "topology"}, newTestLog(t, testRecords(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(orchestrator.Progress{NextHour: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	metaPath := filepath.Join(dir, MetaFile)
+	good, err := os.ReadFile(metaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := strings.Replace(string(good), `"version": 1`, `"version": 99`, 1)
+	if bad == string(good) {
+		t.Fatal("test assumption broken: version field not found in metadata")
+	}
+	if err := os.WriteFile(metaPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future version: got %v", err)
+	}
+
+	if err := os.WriteFile(metaPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("garbage metadata should not load")
+	}
+
+	if err := os.WriteFile(metaPath, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, RecordsFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Fatal("missing records sidecar should not load")
+	}
+}

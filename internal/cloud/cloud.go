@@ -271,6 +271,37 @@ func (p *Platform) Preempt(name string, at time.Time) error {
 	return nil
 }
 
+// CreateAttempts returns a copy of the per-name CreateVM attempt counters.
+// The counters are the only fault-injection state the control plane keeps
+// (FailVMCreate keys on (name, attempt), and a failed creation leaves its
+// counter behind for the next retry), so the campaign checkpoint persists
+// them: a resumed run restores the counters and every post-resume creation
+// draws the same injected decision the uninterrupted run would have.
+func (p *Platform) CreateAttempts() map[string]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.createAttempts) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(p.createAttempts))
+	for k, v := range p.createAttempts {
+		out[k] = v
+	}
+	return out
+}
+
+// RestoreCreateAttempts replaces the per-name CreateVM attempt counters
+// with a snapshot taken by CreateAttempts — the resume half of the
+// checkpoint contract.
+func (p *Platform) RestoreCreateAttempts(m map[string]int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.createAttempts = make(map[string]int, len(m))
+	for k, v := range m {
+		p.createAttempts[k] = v
+	}
+}
+
 // Preemptions returns how many VMs the platform has preempted.
 func (p *Platform) Preemptions() int {
 	p.mu.Lock()

@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"reflect"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/analysis"
 	"github.com/clasp-measurement/clasp/internal/bdrmap"
 	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/checkpoint"
 	"github.com/clasp-measurement/clasp/internal/cloud"
 	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/netsim"
@@ -94,6 +96,17 @@ type Options struct {
 	// logs ("" = the system temp dir). Spill files are unlinked at
 	// creation, so they vanish when the process exits no matter how.
 	SpillDir string
+	// CheckpointDir enables campaign checkpointing: each campaign
+	// periodically commits its progress and record stream into
+	// <CheckpointDir>/<region>-<kind>/ by atomic rename, and a killed run
+	// can be continued with ResumeCampaign (CLI: clasp resume) to produce
+	// output byte-identical to a never-killed run. "" disables.
+	CheckpointDir string
+	// CheckpointEvery commits a checkpoint every N completed rounds
+	// (hours); CheckpointVMHours instead commits once N VM-hours accrue.
+	// With CheckpointDir set and both zero, the default is every round.
+	CheckpointEvery   int
+	CheckpointVMHours int
 	// Substrate injects a pre-built topology and router instead of
 	// generating them — the fleet path, where concurrent engines share one
 	// warmed substrate. The substrate's topology config must match what
@@ -135,6 +148,11 @@ type CLASP struct {
 	Mapper   *bdrmap.Mapper
 	Resolver *alias.Prober
 	Checker  *speedchecker.Platform
+
+	// testCheckpointHook runs after every committed checkpoint; core's
+	// resume tests return a sentinel error from it to stop a campaign
+	// with a valid checkpoint on disk.
+	testCheckpointHook func(orchestrator.Progress) error
 }
 
 // New builds a CLASP instance.
@@ -311,7 +329,7 @@ func (c *CLASP) RunTopologyCampaign(region string, days int) (*CampaignResult, *
 	for _, s := range sel.Selected {
 		servers = append(servers, s.Server)
 	}
-	res, err := c.runCampaign(region, servers, []bgp.Tier{bgp.Premium}, days)
+	res, err := c.runCampaign(c.campaignIdentity("topology", region, days, 0), servers, []bgp.Tier{bgp.Premium}, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -332,7 +350,7 @@ func (c *CLASP) RunDifferentialCampaign(region string, days, minSamples int) (*C
 	for _, s := range sel {
 		servers = append(servers, s.Server)
 	}
-	res, err := c.runCampaign(region, servers, []bgp.Tier{bgp.Premium, bgp.Standard}, days)
+	res, err := c.runCampaign(c.campaignIdentity("differential", region, days, minSamples), servers, []bgp.Tier{bgp.Premium, bgp.Standard}, nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -350,7 +368,43 @@ const storeIndexLimit = 250_000
 // budget before running it.
 const measurementBytes = 88
 
-func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []bgp.Tier, days int) (*CampaignResult, error) {
+// campaignIdentity records what a checkpoint needs to rebuild this
+// campaign: the selection method, the campaign shape, and the engine
+// options that change results (seed, scale, fault profile, capture and
+// traceroute cadence). Parallelism and the memory budget are deliberately
+// absent — both may change across a resume without changing output.
+func (c *CLASP) campaignIdentity(kind, region string, days, minSamples int) checkpoint.Campaign {
+	return checkpoint.Campaign{
+		Kind:            kind,
+		Region:          region,
+		Days:            days,
+		Seed:            c.Opts.Seed,
+		Scale:           c.Opts.Scale,
+		FaultProfile:    c.Opts.FaultProfile,
+		CaptureEvery:    c.Opts.CaptureEvery,
+		TracerouteEvery: c.Opts.TracerouteEvery,
+		MinSamples:      minSamples,
+		Every:           c.Opts.CheckpointEvery,
+		VMHours:         c.Opts.CheckpointVMHours,
+	}
+}
+
+// checkpointTarget returns the directory this campaign checkpoints into:
+// the loaded checkpoint's own directory on resume (so the resumed run
+// keeps committing where it left off), the per-campaign subdirectory of
+// Options.CheckpointDir otherwise, or "" when checkpointing is off.
+func (c *CLASP) checkpointTarget(camp checkpoint.Campaign, resume *checkpoint.Checkpoint) string {
+	if resume != nil {
+		return resume.Dir
+	}
+	if c.Opts.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(c.Opts.CheckpointDir, camp.Region+"-"+camp.Kind)
+}
+
+func (c *CLASP) runCampaign(camp checkpoint.Campaign, servers []*topology.Server, tiers []bgp.Tier, resume *checkpoint.Checkpoint) (*CampaignResult, error) {
+	region, days := camp.Region, camp.Days
 	prof, err := faults.Named(c.Opts.FaultProfile)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -374,7 +428,28 @@ func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []b
 	if est <= storeIndexLimit {
 		sinks = append(sinks, &orchestrator.StoreSink{Store: c.Store})
 	}
-	rep, err := orch.Run(orchestrator.Config{
+
+	// Checkpointing needs the record stream in RecordLog form for the
+	// sidecar: streaming campaigns reuse their primary log, slice
+	// campaigns tee records into a shadow log.
+	var ckWriter *checkpoint.Writer
+	if dir := c.checkpointTarget(camp, resume); dir != "" {
+		if camp.Every <= 0 && camp.VMHours <= 0 {
+			camp.Every = 1
+		}
+		ckLog := analysis.NewRecordLog()
+		if logSink != nil {
+			ckLog = logSink.Log
+		} else {
+			sinks = append(sinks, &orchestrator.LogSink{Log: ckLog})
+		}
+		ckWriter, err = checkpoint.NewWriter(dir, camp, ckLog)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	cfg := orchestrator.Config{
 		Region:          region,
 		Servers:         servers,
 		Tiers:           tiers,
@@ -385,7 +460,33 @@ func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []b
 		CaptureEvery:    c.Opts.CaptureEvery,
 		TracerouteEvery: c.Opts.TracerouteEvery,
 		Faults:          prof,
-	}, sinks)
+	}
+	if ckWriter != nil {
+		cfg.CheckpointEvery = camp.Every
+		cfg.CheckpointVMHours = camp.VMHours
+		hook := c.testCheckpointHook
+		cfg.OnCheckpoint = func(p orchestrator.Progress) error {
+			if err := ckWriter.Commit(p); err != nil {
+				return err
+			}
+			if hook != nil {
+				return hook(p)
+			}
+			return nil
+		}
+	}
+	if resume != nil {
+		// Replay the checkpointed records through the same sinks a live
+		// round's emit phase feeds, rebuilding the record slice/log, the
+		// store index and the next checkpoint's sidecar in one pass; the
+		// orchestrator then re-executes only from the watermark.
+		if err := resume.Replay(sinks.Record); err != nil {
+			return nil, fmt.Errorf("core: resuming campaign in %s: %w", region, err)
+		}
+		prog := resume.Meta.Progress
+		cfg.Resume = &prog
+	}
+	rep, err := orch.Run(cfg, sinks)
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign in %s: %w", region, err)
 	}
@@ -406,4 +507,70 @@ func (c *CLASP) runCampaign(region string, servers []*topology.Server, tiers []b
 		res.Records = slice.Out
 	}
 	return res, nil
+}
+
+// ResumeOptions returns the engine options a resumed campaign requires to
+// reproduce the original run. Callers overlay the free runtime knobs —
+// Parallelism, MaxMemoryMB, SpillDir — before core.New; those may differ
+// from the killed run without changing output.
+func ResumeOptions(camp checkpoint.Campaign) Options {
+	return Options{
+		Seed:            camp.Seed,
+		Scale:           camp.Scale,
+		FaultProfile:    camp.FaultProfile,
+		CaptureEvery:    camp.CaptureEvery,
+		TracerouteEvery: camp.TracerouteEvery,
+	}
+}
+
+// ResumeCampaign continues a checkpointed campaign to completion on this
+// engine and returns the same result an uninterrupted run would have: the
+// server selection is re-run (it is a pure function of the seed), the
+// checkpoint's records are replayed into fresh sinks, and the remaining
+// rounds re-execute from the watermark. The engine must be built with
+// options matching the checkpoint's campaign identity (see ResumeOptions);
+// new checkpoints keep committing into the checkpoint's own directory.
+func (c *CLASP) ResumeCampaign(ck *checkpoint.Checkpoint) (*CampaignResult, error) {
+	camp := ck.Meta.Campaign
+	if c.Opts.Seed != camp.Seed {
+		return nil, fmt.Errorf("core: engine seed %d does not match checkpoint seed %d", c.Opts.Seed, camp.Seed)
+	}
+	if camp.Scale != 0 && c.Opts.Scale != camp.Scale {
+		return nil, fmt.Errorf("core: engine scale %v does not match checkpoint scale %v", c.Opts.Scale, camp.Scale)
+	}
+	if normalizeProfile(c.Opts.FaultProfile) != normalizeProfile(camp.FaultProfile) {
+		return nil, fmt.Errorf("core: engine fault profile %q does not match checkpoint profile %q", c.Opts.FaultProfile, camp.FaultProfile)
+	}
+	switch camp.Kind {
+	case "topology":
+		sel, err := c.SelectTopologyServers(camp.Region)
+		if err != nil {
+			return nil, fmt.Errorf("core: topology selection in %s: %w", camp.Region, err)
+		}
+		servers := make([]*topology.Server, 0, len(sel.Selected))
+		for _, s := range sel.Selected {
+			servers = append(servers, s.Server)
+		}
+		return c.runCampaign(camp, servers, []bgp.Tier{bgp.Premium}, ck)
+	case "differential":
+		sel, _, err := c.SelectDifferentialServers(camp.Region, camp.MinSamples)
+		if err != nil {
+			return nil, fmt.Errorf("core: differential selection in %s: %w", camp.Region, err)
+		}
+		servers := make([]*topology.Server, 0, len(sel))
+		for _, s := range sel {
+			servers = append(servers, s.Server)
+		}
+		return c.runCampaign(camp, servers, []bgp.Tier{bgp.Premium, bgp.Standard}, ck)
+	default:
+		return nil, fmt.Errorf("core: unknown campaign kind %q in checkpoint", camp.Kind)
+	}
+}
+
+// normalizeProfile folds the two spellings of the fault-free profile.
+func normalizeProfile(p string) string {
+	if p == "" {
+		return "none"
+	}
+	return p
 }

@@ -49,7 +49,7 @@ func (c *CLASP) RunTopologyCampaigns(regions []string, days int) (map[string]*Ca
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.runCampaign(plans[i].region, plans[i].servers, []bgp.Tier{bgp.Premium}, days)
+			results[i], errs[i] = c.runCampaign(c.campaignIdentity("topology", plans[i].region, days, 0), plans[i].servers, []bgp.Tier{bgp.Premium}, nil)
 		}(i)
 	}
 	wg.Wait()

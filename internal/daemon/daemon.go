@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"os"
 	"sync"
 	"time"
 
@@ -228,15 +227,9 @@ func (d *Daemon) Shutdown(ctx context.Context) error {
 }
 
 func (d *Daemon) writeTelemetry() error {
-	f, err := os.Create(d.cfg.TelemetryOut)
-	if err != nil {
-		return err
-	}
-	if _, err := d.Pipeline.WriteBlocks(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	// Atomic-rename dump: a kill during shutdown never leaves a truncated
+	// block file where the previous telemetry history used to be.
+	return d.Pipeline.WriteBlocksFile(d.cfg.TelemetryOut)
 }
 
 // SelfStore returns the self-telemetry store (the /debug/obs/history

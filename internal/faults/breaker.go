@@ -103,3 +103,32 @@ func (b *Breaker) trip() {
 	b.state = Open
 	b.openRounds = b.cooldown
 }
+
+// BreakerSnapshot is the serializable dynamic state of a Breaker — the
+// campaign checkpoint persists it so a resumed run re-enters the exact
+// breaker state (including mid-cooldown) the killed run was in. The static
+// configuration (fail fraction, min samples, cooldown length) is not part
+// of the snapshot: it is re-derived from the fault profile on resume.
+type BreakerSnapshot struct {
+	State      BreakerState `json:"state"`
+	OpenRounds int          `json:"openRounds"`
+}
+
+// Snapshot captures the breaker's dynamic state. Safe on a nil receiver
+// (returns the zero snapshot: Closed, no cooldown).
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	if b == nil {
+		return BreakerSnapshot{}
+	}
+	return BreakerSnapshot{State: b.state, OpenRounds: b.openRounds}
+}
+
+// Restore re-enters a snapshotted state. Safe on a nil receiver (no-op), so
+// resume paths need not branch on whether the profile has a breaker.
+func (b *Breaker) Restore(s BreakerSnapshot) {
+	if b == nil {
+		return
+	}
+	b.state = s.State
+	b.openRounds = s.OpenRounds
+}

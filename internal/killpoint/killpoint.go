@@ -1,0 +1,70 @@
+// Package killpoint is the crash-test hook behind the `make resume-smoke`
+// kill matrix: it SIGKILLs the current process at a named, deterministic
+// point of a campaign so the checkpoint/resume machinery can be proven
+// against real uncooperative deaths (no deferred cleanup, no flushes).
+//
+// The hook is armed through the environment: CLASP_KILL_POINT="<point>:<hour>"
+// kills the process the first time Maybe(point, hour) is reached. With the
+// variable unset — every production run — Maybe is a single nil check on a
+// package variable, so the hook costs nothing and cannot fire.
+//
+// The points the orchestrator and checkpoint writer expose:
+//
+//	mid-round       a round has executed but its records are not yet
+//	                emitted or checkpointed — the work since the last
+//	                checkpoint must be re-executed on resume
+//	block-flush     the checkpoint's record blocks are written to the
+//	                temp file but not yet atomically renamed — the
+//	                previous checkpoint must stay intact
+//	round-boundary  a checkpoint just committed — resume must continue
+//	                from exactly this round
+package killpoint
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// EnvVar arms the kill hook: "<point>:<hour>".
+const EnvVar = "CLASP_KILL_POINT"
+
+type armed struct {
+	point string
+	hour  int
+}
+
+var target *armed
+
+func init() {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return
+	}
+	point, hourStr, ok := strings.Cut(v, ":")
+	if !ok || point == "" {
+		return
+	}
+	hour, err := strconv.Atoi(hourStr)
+	if err != nil {
+		return
+	}
+	target = &armed{point: point, hour: hour}
+}
+
+// Maybe SIGKILLs the process if the (point, hour) pair matches the armed
+// kill point. SIGKILL cannot be caught, so nothing after this call — no
+// defers, no sink flushes, no checkpoint writes — runs when it fires,
+// exactly like a crash or an OOM kill.
+func Maybe(point string, hour int) {
+	if target == nil || target.point != point || target.hour != hour {
+		return
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err == nil {
+		_ = p.Kill()
+	}
+	// Kill delivery is asynchronous in principle; never let execution
+	// continue past an armed kill point.
+	select {}
+}

@@ -33,6 +33,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/cloud"
 	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/flowstats"
+	"github.com/clasp-measurement/clasp/internal/killpoint"
 	"github.com/clasp-measurement/clasp/internal/netsim"
 	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/someta"
@@ -219,6 +220,57 @@ type Config struct {
 	// Parallelism: every injection decision, retry delay and breaker
 	// transition is a pure function of the seed and task coordinates.
 	Faults faults.Profile
+	// CheckpointEvery calls OnCheckpoint after every Nth completed round
+	// (hour). 0 disables the round cadence.
+	CheckpointEvery int
+	// CheckpointVMHours calls OnCheckpoint once at least N VM-hours have
+	// accrued since the last checkpoint (each round adds one VM-hour per
+	// deployed VM). 0 disables the vm-hour cadence. Either cadence firing
+	// emits a checkpoint and resets both accumulators.
+	CheckpointVMHours int
+	// OnCheckpoint receives a Progress snapshot at each checkpoint
+	// boundary. A returned error aborts the campaign — by then the
+	// snapshot's records are already durable, so callers use a sentinel
+	// error to stop a campaign with a valid checkpoint on disk (the
+	// in-process resume tests do exactly that). nil disables checkpointing.
+	OnCheckpoint func(Progress) error
+	// Resume continues a campaign from a checkpointed Progress instead of
+	// from hour zero. The caller must replay the checkpoint's records into
+	// its sink first: Run only re-executes rounds from Progress.NextHour
+	// on, emitting into the same sink. Every other Config field must match
+	// the original run for the byte-identical guarantee to hold.
+	Resume *Progress
+}
+
+// Progress is the serializable cross-round state of a running campaign —
+// everything mutable that survives from one hourly round to the next.
+// Together with the campaign Config (seed included) it determines the rest
+// of the run exactly: per-hour test orders, fault decisions and measurement
+// results are pure functions of (seed, coordinates), so a campaign resumed
+// from a Progress re-executes the remaining rounds bit-identically at any
+// Parallelism. Everything else the engine touches is either pure
+// (per-hour RNG, routing caches) or rebuilt on resume (VM pool, workers).
+type Progress struct {
+	// NextHour is the completed-hour watermark: rounds [0, NextHour) are
+	// fully emitted and durable; the resumed run starts at NextHour.
+	NextHour int `json:"nextHour"`
+	// Downloads is the cumulative download-test counter that drives the
+	// CaptureEvery cadence across hours.
+	Downloads int `json:"downloads"`
+	// Report is the report accumulated over the completed rounds,
+	// including the original deploy's retry accounting (a resumed run
+	// discards its own redeploy counters in favour of this).
+	Report Report `json:"report"`
+	// Breaker is the circuit breaker's dynamic state (zero when the
+	// profile has no breaker).
+	Breaker faults.BreakerSnapshot `json:"breaker"`
+	// VMCreateAttempts is the platform's per-name creation-attempt residue
+	// from failed re-creations; FailVMCreate keys on (name, attempt), so
+	// future re-creation decisions depend on it.
+	VMCreateAttempts map[string]int `json:"vmCreateAttempts,omitempty"`
+	// DeadVMs are VM slots left empty by a failed re-creation; their tests
+	// keep dropping until a later hour re-creates them.
+	DeadVMs []int `json:"deadVms,omitempty"`
 }
 
 func (c Config) withDefaults() Config {
@@ -433,12 +485,79 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 	slotGap := time.Hour / time.Duration(TestsPerVMPerHour+1)
 	downloads := 0
 
+	// Resume: swap in the checkpointed cross-round state. The redeploy
+	// above re-ran the original deploy bit-identically (fresh platform,
+	// pure FailVMCreate decisions), so its retry counters duplicate what
+	// the checkpointed report already carries — the report is restored
+	// wholesale, not merged. VM slots that were dead at the checkpoint are
+	// re-emptied so their rounds keep dropping tests until the hour that
+	// deterministically re-creates them.
+	startHour := 0
+	if cfg.Resume != nil {
+		res := cfg.Resume
+		if res.NextHour < 0 || res.NextHour > totalHours {
+			return nil, fmt.Errorf("orchestrator: resume watermark %d outside campaign of %d hours", res.NextHour, totalHours)
+		}
+		restored := res.Report
+		rep = &restored
+		downloads = res.Downloads
+		breaker.Restore(res.Breaker)
+		o.platform.RestoreCreateAttempts(res.VMCreateAttempts)
+		resumeAt := cfg.Start.Add(time.Duration(res.NextHour) * time.Hour)
+		for _, i := range res.DeadVMs {
+			if i < 0 || i >= len(vms) || vms[i] == nil {
+				continue
+			}
+			if err := o.platform.DeleteVM(vms[i].Name, resumeAt); err != nil {
+				return nil, fmt.Errorf("orchestrator: resuming dead VM slot %d: %w", i, err)
+			}
+			vms[i] = nil
+		}
+		startHour = res.NextHour
+	}
+
+	// Checkpoint cadence: both accumulators advance per completed round
+	// (shed rounds included — an open breaker is exactly the cross-round
+	// state a crash must not lose) and reset together when either fires.
+	roundsSince, vmHoursSince := 0, 0
+	checkpointAfter := func(hour int) error {
+		if cfg.OnCheckpoint == nil {
+			return nil
+		}
+		roundsSince++
+		vmHoursSince += totalVMs
+		if !(cfg.CheckpointEvery > 0 && roundsSince >= cfg.CheckpointEvery) &&
+			!(cfg.CheckpointVMHours > 0 && vmHoursSince >= cfg.CheckpointVMHours) {
+			return nil
+		}
+		roundsSince, vmHoursSince = 0, 0
+		var dead []int
+		for i := range vms {
+			if vms[i] == nil {
+				dead = append(dead, i)
+			}
+		}
+		p := Progress{
+			NextHour:         hour + 1,
+			Downloads:        downloads,
+			Report:           *rep,
+			Breaker:          breaker.Snapshot(),
+			VMCreateAttempts: o.platform.CreateAttempts(),
+			DeadVMs:          dead,
+		}
+		if err := cfg.OnCheckpoint(p); err != nil {
+			return fmt.Errorf("orchestrator: checkpoint after hour %d: %w", hour, err)
+		}
+		killpoint.Maybe("round-boundary", hour)
+		return nil
+	}
+
 	// Progress/ETA gauges for live introspection (-debug-addr). Driven by
 	// the wall clock only; see setProgress for the no-feedback invariant.
 	wallStart := time.Now()
-	metrics.setProgress(0, totalHours, wallStart)
+	metrics.setProgress(startHour, totalHours, wallStart)
 
-	for hour := 0; hour < totalHours; hour++ {
+	for hour := startHour; hour < totalHours; hour++ {
 		hourStart := cfg.Start.Add(time.Duration(hour) * time.Hour)
 		rep.Hours++
 		// Randomise the test order each hour to decorrelate from periodic
@@ -492,6 +611,9 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			metrics.incBreakerOpenRounds()
 			breaker.ObserveRound(len(tasks), 0)
 			metrics.setBreakerState(breaker.State())
+			if err := checkpointAfter(hour); err != nil {
+				return nil, err
+			}
 			metrics.setProgress(hour+1, totalHours, wallStart)
 			continue
 		}
@@ -503,6 +625,10 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Crash-test point: the round has executed but nothing is emitted
+		// or checkpointed yet — a kill here loses the whole round, which
+		// resume must re-execute from the last checkpoint's watermark.
+		killpoint.Maybe("mid-round", hour)
 		rep.Failed += tally.failed
 		rep.Retried += tally.retried
 		rep.Dropped += tally.dropped
@@ -592,6 +718,9 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			}
 			trSpan.End()
 			metrics.phaseDone("traceroute", phaseStart)
+		}
+		if err := checkpointAfter(hour); err != nil {
+			return nil, err
 		}
 		metrics.setProgress(hour+1, totalHours, wallStart)
 	}

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 
 	"github.com/clasp-measurement/clasp/internal/core"
@@ -65,16 +66,25 @@ func (r *Runner) Run(w io.Writer, s *Spec) error {
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
+	ckDir := ""
+	if s.CheckpointDir != "" {
+		// Scope per scenario name, so fleet members sharing one
+		// checkpoint root never write into each other's campaigns.
+		ckDir = filepath.Join(s.CheckpointDir, s.Name)
+	}
 	eng, err := core.New(core.Options{
-		Seed:            s.seed(),
-		Scale:           s.scale(),
-		Parallelism:     s.Parallelism,
-		FaultProfile:    s.FaultProfile,
-		CaptureEvery:    s.CaptureEvery,
-		TracerouteEvery: s.TracerouteEvery,
-		MaxMemoryMB:     s.MaxMemoryMB,
-		SpillDir:        s.SpillDir,
-		Substrate:       sub,
+		Seed:              s.seed(),
+		Scale:             s.scale(),
+		Parallelism:       s.Parallelism,
+		FaultProfile:      s.FaultProfile,
+		CaptureEvery:      s.CaptureEvery,
+		TracerouteEvery:   s.TracerouteEvery,
+		MaxMemoryMB:       s.MaxMemoryMB,
+		SpillDir:          s.SpillDir,
+		CheckpointDir:     ckDir,
+		CheckpointEvery:   s.CheckpointEvery,
+		CheckpointVMHours: s.CheckpointVMHours,
+		Substrate:         sub,
 	})
 	if err != nil {
 		return fmt.Errorf("scenario %s: %w", s.Name, err)

@@ -67,6 +67,17 @@ type Spec struct {
 	// SpillDir is where streaming campaigns place their spilled record
 	// logs ("" = the system temp dir).
 	SpillDir string `json:"spillDir,omitempty"`
+	// CheckpointDir enables campaign checkpointing: each campaign commits
+	// its progress and record stream under <checkpointDir>/<name>/ by
+	// atomic rename, and a killed run can be continued with `clasp resume`
+	// to byte-identical output ("" disables). The scenario name scopes the
+	// directory so fleet members never collide.
+	CheckpointDir string `json:"checkpointDir,omitempty"`
+	// CheckpointEvery commits a checkpoint every N completed campaign
+	// rounds (hours); CheckpointVMHours instead commits once N VM-hours
+	// accrue. With checkpointDir set and both zero: every round.
+	CheckpointEvery   int `json:"checkpointEvery,omitempty"`
+	CheckpointVMHours int `json:"checkpointVmHours,omitempty"`
 	// Campaigns lists measurement campaigns to run, in order.
 	Campaigns []CampaignSpec `json:"campaigns,omitempty"`
 	// Artifacts lists paper artifacts to regenerate after the campaigns
@@ -302,6 +313,15 @@ func (s *Spec) Validate() error {
 	}
 	if s.MaxMemoryMB < 0 {
 		bad("maxMemoryMB: must be non-negative, got %d", s.MaxMemoryMB)
+	}
+	if s.CheckpointEvery < 0 {
+		bad("checkpointEvery: must be non-negative, got %d", s.CheckpointEvery)
+	}
+	if s.CheckpointVMHours < 0 {
+		bad("checkpointVmHours: must be non-negative, got %d", s.CheckpointVMHours)
+	}
+	if s.CheckpointDir == "" && (s.CheckpointEvery > 0 || s.CheckpointVMHours > 0) {
+		bad("checkpointEvery/checkpointVmHours: need checkpointDir to take effect")
 	}
 	if _, err := faults.Named(s.FaultProfile); err != nil {
 		bad("faultProfile: %q is not a canned profile (have %s)", s.FaultProfile, strings.Join(faults.Names(), ", "))

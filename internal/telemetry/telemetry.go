@@ -147,3 +147,10 @@ func (p *Pipeline) Stop() {
 func (p *Pipeline) WriteBlocks(w io.Writer) (int64, error) {
 	return p.Store.WriteBlocks(w)
 }
+
+// WriteBlocksFile dumps the self-store to path via temp file and atomic
+// rename (tsdb.Store.WriteBlocksFile), so a process killed mid-dump never
+// leaves a truncated telemetry file behind.
+func (p *Pipeline) WriteBlocksFile(path string) error {
+	return p.Store.WriteBlocksFile(path)
+}

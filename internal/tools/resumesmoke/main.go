@@ -1,0 +1,203 @@
+// Command resumesmoke is the kill-matrix CI gate for campaign
+// checkpoint/resume: it proves that a campaign process SIGKILLed at each
+// of the three interesting moments — mid-round (work since the last
+// checkpoint unflushed), block-flush (new record sidecar written but not
+// yet renamed), and round-boundary (a checkpoint just committed) — resumes
+// to stdout byte-identical to a never-killed run.
+//
+// The matrix runs against the real `clasp` binary, not an in-process
+// harness: the child dies by actual SIGKILL (armed via CLASP_KILL_POINT,
+// see internal/killpoint), so no deferred cleanup or sink flush can paper
+// over a durability bug, and the resume goes through the public
+// `clasp resume` command. The whole matrix runs at parallelism 1 and 4 —
+// resume output must not depend on worker count, even when the resumed
+// parallelism differs from the killed run's.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"github.com/clasp-measurement/clasp/internal/killpoint"
+)
+
+// The campaign under test: small enough to run the full matrix in
+// seconds, long enough (48 rounds) that the kill hour sits well inside
+// the run with real work on both sides of it.
+const (
+	region   = "us-west1"
+	days     = "2"
+	seed     = "3"
+	scale    = "0.1"
+	killHour = 7
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "resumesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "resumesmoke-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	// One build, many runs: the matrix re-executes the real CLI binary.
+	bin := filepath.Join(work, "clasp")
+	goTool := os.Getenv("GO")
+	if goTool == "" {
+		goTool = "go"
+	}
+	if out, err := exec.Command(goTool, "build", "-o", bin, "./cmd/clasp").CombinedOutput(); err != nil {
+		return fmt.Errorf("building clasp: %v\n%s", err, out)
+	}
+
+	points := []string{"mid-round", "block-flush", "round-boundary"}
+	for _, par := range []string{"1", "4"} {
+		want, err := campaign(bin, par, "", "")
+		if err != nil {
+			return fmt.Errorf("uninterrupted run (parallelism %s): %w", par, err)
+		}
+		for _, point := range points {
+			if err := killAndResume(bin, work, par, point, want); err != nil {
+				return fmt.Errorf("parallelism %s, kill at %s: %w", par, point, err)
+			}
+		}
+		fmt.Printf("resumesmoke: parallelism %s: %d kill points resumed byte-identically (%d bytes each)\n",
+			par, len(points), len(want))
+	}
+	return nil
+}
+
+// killAndResume runs one matrix cell: arm the kill point, watch the child
+// die by SIGKILL, check what the checkpoint on disk claims, resume it at
+// the same parallelism through `clasp resume`, and compare bytes.
+func killAndResume(bin, work, par, point string, want []byte) error {
+	ckDir := filepath.Join(work, fmt.Sprintf("ck-p%s-%s", par, point))
+	kill := fmt.Sprintf("%s:%d", point, killHour)
+	if _, err := campaign(bin, par, ckDir, kill); err == nil {
+		return fmt.Errorf("armed child exited cleanly instead of dying")
+	} else if !diedBySIGKILL(err) {
+		return fmt.Errorf("armed child failed but not by SIGKILL: %v", err)
+	}
+
+	next, err := watermark(ckDir)
+	if err != nil {
+		return err
+	}
+	// The checkpoint must be mid-campaign (or a full re-run would also
+	// "pass") and consistent with the kill point: round-boundary dies
+	// after hour killHour's checkpoint committed, the other two before.
+	if next <= 0 || next >= 48 {
+		return fmt.Errorf("checkpoint watermark %d is not mid-campaign", next)
+	}
+	wantNext := killHour
+	if point == "round-boundary" {
+		wantNext = killHour + 1
+	}
+	if next != wantNext {
+		return fmt.Errorf("checkpoint watermark %d, want %d", next, wantNext)
+	}
+
+	got, err := resume(bin, ckDir, par)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("resumed output (%d bytes) differs from uninterrupted run (%d bytes):\n--- resumed ---\n%s--- uninterrupted ---\n%s",
+			len(got), len(want), got, want)
+	}
+	return nil
+}
+
+// campaign runs `clasp campaign` and returns its stdout. ckDir enables
+// checkpointing; kill arms the kill point in the child's environment.
+func campaign(bin, par, ckDir, kill string) ([]byte, error) {
+	args := []string{"campaign", region, "-seed", seed, "-scale", scale, "-days", days, "-parallelism", par}
+	if ckDir != "" {
+		args = append(args, "-checkpoint-dir", ckDir)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = cleanEnv()
+	if kill != "" {
+		cmd.Env = append(cmd.Env, killpoint.EnvVar+"="+kill)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%w\n%s", err, stderr.Bytes())
+	}
+	return stdout.Bytes(), nil
+}
+
+// resume runs `clasp resume` on a checkpoint directory; the kill point is
+// never armed here — the resumed process must run to completion.
+func resume(bin, ckDir, par string) ([]byte, error) {
+	cmd := exec.Command(bin, "resume", ckDir, "-parallelism", par)
+	cmd.Env = cleanEnv()
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("%w\n%s", err, stderr.Bytes())
+	}
+	return stdout.Bytes(), nil
+}
+
+// cleanEnv is the parent environment minus any inherited kill point, so a
+// developer's shell can never arm a child unintentionally.
+func cleanEnv() []string {
+	env := os.Environ()
+	out := env[:0]
+	for _, e := range env {
+		if !strings.HasPrefix(e, killpoint.EnvVar+"=") {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// diedBySIGKILL reports whether a child's exit error is an uncaught
+// SIGKILL — the only acceptable way for an armed child to stop.
+func diedBySIGKILL(err error) bool {
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		// campaign() wraps the error with stderr; unwrap one level.
+		type wrapper interface{ Unwrap() error }
+		if w, okw := err.(wrapper); okw {
+			ee, ok = w.Unwrap().(*exec.ExitError)
+		}
+		if !ok {
+			return false
+		}
+	}
+	ws, ok := ee.Sys().(syscall.WaitStatus)
+	return ok && ws.Signaled() && ws.Signal() == syscall.SIGKILL
+}
+
+// watermark reads NextHour out of the checkpoint metadata under ckDir
+// (single-campaign layout: one <region>-<kind> subdirectory).
+func watermark(ckDir string) (int, error) {
+	raw, err := os.ReadFile(filepath.Join(ckDir, region+"-topology", "checkpoint.json"))
+	if err != nil {
+		return 0, fmt.Errorf("reading checkpoint metadata: %w", err)
+	}
+	var meta struct {
+		Progress struct {
+			NextHour int `json:"nextHour"`
+		} `json:"progress"`
+	}
+	if err := json.Unmarshal(raw, &meta); err != nil {
+		return 0, fmt.Errorf("parsing checkpoint metadata: %w", err)
+	}
+	return meta.Progress.NextHour, nil
+}

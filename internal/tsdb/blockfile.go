@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"time"
@@ -98,6 +99,43 @@ func (s *Store) WriteBlocks(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	return cw.n, nil
+}
+
+// WriteBlocksFile writes the block-file serialisation to path crash-safely:
+// the bytes go to a temp file in path's directory, are synced, and the temp
+// file is renamed over path. A process killed mid-dump (the daemon-shutdown
+// telemetry path) therefore never leaves a truncated block file at path —
+// either the previous complete file survives, or the new one is complete.
+func (s *Store) WriteBlocksFile(path string) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("tsdb: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: writing block file: %w", err)
+	}
+	if _, err := s.WriteBlocks(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: writing block file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: committing block file: %w", err)
+	}
+	return nil
 }
 
 // blockFileSeries is one index entry with its key parsed back into

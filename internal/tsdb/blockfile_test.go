@@ -138,6 +138,64 @@ func TestBlockFileCorruption(t *testing.T) {
 	}
 }
 
+// TestBlockFilePartialRejection sweeps truncation points over a valid
+// block file: no strict prefix — a file cut short by a crash mid-write —
+// may open successfully. Together with WriteBlocksFile's atomic rename
+// this pins the crash-safety contract: a reader sees either a complete
+// file or an open error, never silently partial data.
+func TestBlockFilePartialRejection(t *testing.T) {
+	s := NewStore()
+	s.SetSealThreshold(8)
+	fillStores(t, 60, s)
+	var buf bytes.Buffer
+	if _, err := s.WriteBlocks(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	dir := t.TempDir()
+	p := filepath.Join(dir, "partial.clbf")
+	for cut := 0; cut < len(raw); cut += 7 {
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if bf, err := OpenBlockFile(p); err == nil {
+			bf.Close()
+			t.Fatalf("file truncated to %d of %d bytes opened without error", cut, len(raw))
+		}
+	}
+}
+
+// TestWriteBlocksFileAtomic pins the crash-safe dump path: the file is
+// complete and openable, a second dump replaces it in place, and no temp
+// files survive either commit.
+func TestWriteBlocksFileAtomic(t *testing.T) {
+	s := NewStore()
+	s.SetSealThreshold(16)
+	fillStores(t, 120, s)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.clbf")
+	for i := 0; i < 2; i++ { // second pass overwrites the first dump
+		if err := s.WriteBlocksFile(path); err != nil {
+			t.Fatal(err)
+		}
+		bf, err := OpenBlockFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bf.SeriesCount() != s.SeriesCount() {
+			t.Fatalf("series count %d, want %d", bf.SeriesCount(), s.SeriesCount())
+		}
+		bf.Close()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 1 || entries[0].Name() != "telemetry.clbf" {
+			t.Fatalf("dump left extra files: %v", entries)
+		}
+	}
+}
+
 // TestParseSeriesKey pins the key grammar the index relies on.
 func TestParseSeriesKey(t *testing.T) {
 	m, tags, err := parseSeriesKey(seriesKey("speedtest", Tags{"b": "2", "a": "1"}))
