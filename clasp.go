@@ -216,7 +216,7 @@ func (p *Platform) CongestionReport(res *CampaignResult) (*CongestionReport, err
 	sp := obs.Trace("congestion_report").With("region", res.Region).WithInt("records", res.NumRecords())
 	defer sp.End()
 	det := congestion.NewDetector()
-	withServer := analysis.GroupSeriesWithServerCursor(res.Cursor(), netsim.Download, bgp.Premium)
+	withServer, parts := res.SeriesAndPartitions(netsim.Download, bgp.Premium)
 	if len(withServer) == 0 {
 		return nil, fmt.Errorf("clasp: no premium download series in result")
 	}
@@ -229,7 +229,7 @@ func (p *Platform) CongestionReport(res *CampaignResult) (*CongestionReport, err
 	dsp := sp.Child("detect").WithInt("series", len(withServer)).WithInt("parallelism", p.engine.Opts.Parallelism)
 	analysis.ParallelFor(p.engine.Opts.Parallelism, len(withServer), func(i int) {
 		sw := withServer[i]
-		part := congestion.NewPartition(sw.Series)
+		part := parts[i]
 		days := part.Days(det.MinSamples)
 		events := det.EventsIn(part)
 		congDays := make(map[int]bool)
@@ -389,7 +389,7 @@ func (p *Platform) DetectHMM(res *CampaignResult, serverID int) (*HMMEvents, err
 		return nil, fmt.Errorf("clasp: empty campaign result")
 	}
 	det := congestion.NewDetector()
-	series := analysis.GroupSeriesWithServerCursor(res.Cursor(), netsim.Download, bgp.Premium)
+	series, _ := res.SeriesAndPartitions(netsim.Download, bgp.Premium)
 	if len(series) == 0 {
 		return nil, fmt.Errorf("clasp: no premium download series")
 	}

@@ -235,12 +235,44 @@ func run(args []string) error {
 	return cmdErr
 }
 
-// resumeCmd continues a checkpointed campaign to completion and prints the
-// finished run's report — byte-identical to what the uninterrupted command
-// would have printed.
+// costsDays is the campaign length of the `costs` command's all-region
+// deployment, matching the paper's one-week bill.
+const costsDays = 7
+
+// costsRefs is the campaign set `costs` runs, in plan order.
+func costsRefs() []core.CampaignRef {
+	refs := make([]core.CampaignRef, len(core.TopologyRegions))
+	for i, r := range core.TopologyRegions {
+		refs[i] = core.CampaignRef{Kind: "topology", Region: r, Days: costsDays}
+	}
+	return refs
+}
+
+// printCosts renders the simulated bill after the costs campaign set.
+func printCosts(out *os.File, p *clasp.Platform) {
+	egress, storage, compute := p.Costs()
+	fmt.Fprintf(out, "Simulated 7-day all-region bill:\n")
+	fmt.Fprintf(out, "  egress:  $%8.2f\n  storage: $%8.2f\n  compute: $%8.2f\n  total:   $%8.2f\n",
+		egress, storage, compute, egress+storage+compute)
+	fmt.Fprintf(out, "(the paper's real deployment exceeded USD 6k/month)\n")
+}
+
+// resumeCmd continues a checkpointed command or campaign to completion and
+// prints the finished run's output — byte-identical to what the
+// uninterrupted command would have printed. A directory holding a command
+// manifest re-enters the multi-campaign scheduler (finished campaigns are
+// skipped, partial ones resume from their watermark, never-started ones
+// run fresh); a bare campaign checkpoint takes the single-campaign path.
 func resumeCmd(positional []string, out *os.File, parallelism, maxMemory int, spillDir string) error {
 	if len(positional) != 1 {
 		return fmt.Errorf("usage: clasp resume <checkpoint-dir>")
+	}
+	man, err := checkpoint.LoadManifest(positional[0])
+	if err != nil {
+		return err
+	}
+	if man != nil {
+		return resumeCommand(man, positional[0], out, parallelism, maxMemory, spillDir)
 	}
 	ck, err := checkpoint.Load(positional[0])
 	if err != nil {
@@ -272,6 +304,60 @@ func resumeCmd(positional []string, out *os.File, parallelism, maxMemory int, sp
 		return nil
 	}
 	return printCampaign(out, p, res, true)
+}
+
+// resumeCommand re-enters a killed multi-campaign command from its
+// manifest: the engine is rebuilt from the recorded identity, a resume
+// scheduler attaches the per-campaign checkpoints, and the command's
+// normal render path runs — loading finished campaigns from their
+// checkpoints, resuming partial ones, and running the rest.
+func resumeCommand(man *checkpoint.Manifest, dir string, out *os.File, parallelism, maxMemory int, spillDir string) error {
+	if len(man.Campaigns) == 0 {
+		return fmt.Errorf("resume: manifest in %s lists no campaigns", dir)
+	}
+	eng, err := core.New(core.Options{
+		Seed:              man.Seed,
+		Scale:             man.Scale,
+		FaultProfile:      man.FaultProfile,
+		CaptureEvery:      man.CaptureEvery,
+		TracerouteEvery:   man.TracerouteEvery,
+		Parallelism:       parallelism,
+		MaxMemoryMB:       maxMemory,
+		SpillDir:          spillDir,
+		CheckpointDir:     dir,
+		CheckpointEvery:   man.Every,
+		CheckpointVMHours: man.VMHours,
+	})
+	if err != nil {
+		return err
+	}
+	p := clasp.NewFromCore(eng)
+	name := man.Command
+	if man.Artifact != "" {
+		name += "-" + man.Artifact
+	}
+	sched := eng.NewResumeScheduler(name)
+	sched.OnSkip = func(camp checkpoint.Campaign) {
+		fmt.Fprintf(os.Stderr, "clasp: skipping finished campaign %s\n", checkpoint.CampaignDir(camp))
+	}
+	switch man.Command {
+	case "report":
+		cache := scenario.NewArtifactCache()
+		cache.UseScheduler(sched)
+		return scenario.RenderArtifact(out, p, cache, man.Artifact, man.Days, man.MinSamples)
+	case "costs":
+		regions := make([]string, len(man.Campaigns))
+		for i, c := range man.Campaigns {
+			regions[i] = c.Region
+		}
+		if _, err := p.RunTopologyCampaigns(regions, man.Days); err != nil {
+			return err
+		}
+		printCosts(out, p)
+		return nil
+	default:
+		return fmt.Errorf("resume: manifest in %s has unknown command %q", dir, man.Command)
+	}
 }
 
 // printCampaign renders a finished campaign exactly like `clasp campaign`:
@@ -347,22 +433,32 @@ func dispatch(cmd string, positional []string, p *clasp.Platform, eng *core.CLAS
 		return printCampaign(out, p, res, true)
 
 	case "costs":
-		// All regions measure concurrently, like the real deployment.
-		if _, err := p.RunTopologyCampaigns(core.TopologyRegions, 7); err != nil {
+		// All regions measure concurrently, like the real deployment. The
+		// command scheduler accounts whole-command progress and, with
+		// -checkpoint-dir set, records the campaign set in a manifest so
+		// `clasp resume` can skip whatever already finished.
+		sched := eng.NewCommandScheduler("costs")
+		if err := sched.WriteManifest("costs", "", costsRefs()); err != nil {
 			return err
 		}
-		egress, storage, compute := p.Costs()
-		fmt.Fprintf(out, "Simulated 7-day all-region bill:\n")
-		fmt.Fprintf(out, "  egress:  $%8.2f\n  storage: $%8.2f\n  compute: $%8.2f\n  total:   $%8.2f\n",
-			egress, storage, compute, egress+storage+compute)
-		fmt.Fprintf(out, "(the paper's real deployment exceeded USD 6k/month)\n")
+		if _, err := p.RunTopologyCampaigns(core.TopologyRegions, costsDays); err != nil {
+			return err
+		}
+		printCosts(out, p)
 		return nil
 
 	case "report":
 		if len(positional) != 1 {
 			return fmt.Errorf("usage: clasp report <table1|fig2|...|all>")
 		}
-		return scenario.RenderArtifact(out, p, scenario.NewArtifactCache(), positional[0], days, minSamples)
+		artifact := positional[0]
+		sched := eng.NewCommandScheduler("report-" + artifact)
+		if err := sched.WriteManifest("report", artifact, scenario.CampaignRefs([]string{artifact}, days, minSamples)); err != nil {
+			return err
+		}
+		cache := scenario.NewArtifactCache()
+		cache.UseScheduler(sched)
+		return scenario.RenderArtifact(out, p, cache, artifact, days, minSamples)
 
 	default:
 		return fmt.Errorf("unknown command %q", cmd)

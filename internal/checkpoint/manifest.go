@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ManifestFile is the command-level manifest a multi-campaign command
+// (report all, costs) writes at the root of its -checkpoint-dir. Each
+// campaign of the command still checkpoints independently into its own
+// <region>-<kind> subdirectory; the manifest records the command identity
+// and the full planned campaign set, so `clasp resume` can rebuild the
+// engine, skip the campaigns whose checkpoints are already at their final
+// watermark, resume the partial ones, and run the never-started ones — in
+// other words, re-enter the command's scheduler mid-set.
+const ManifestFile = "command.json"
+
+// ManifestVersion is the manifest format version.
+const ManifestVersion = 1
+
+// Manifest is the command.json payload.
+type Manifest struct {
+	Version int `json:"version"`
+	// Command is the CLI command the checkpoint set belongs to:
+	// "report" or "costs".
+	Command string `json:"command"`
+	// Artifact is the report target ("all", "fig2", ...); empty for costs.
+	Artifact string `json:"artifact,omitempty"`
+	// Days / MinSamples are the command-level campaign shape flags.
+	Days       int `json:"days"`
+	MinSamples int `json:"minSamples,omitempty"`
+	// Engine identity, mirroring Campaign: everything needed to rebuild
+	// the engine so the remaining campaigns reproduce the original run.
+	Seed            int64   `json:"seed"`
+	Scale           float64 `json:"scale"`
+	FaultProfile    string  `json:"faultProfile,omitempty"`
+	CaptureEvery    int     `json:"captureEvery,omitempty"`
+	TracerouteEvery int     `json:"tracerouteEvery,omitempty"`
+	// Every / VMHours are the checkpoint cadences the campaigns ran with.
+	Every   int `json:"checkpointEvery,omitempty"`
+	VMHours int `json:"checkpointVmHours,omitempty"`
+	// Campaigns is the full planned campaign set in plan order. Resume
+	// walks it in order, so a fresh run and a resumed run schedule the
+	// remaining work identically.
+	Campaigns []Campaign `json:"campaigns"`
+}
+
+// CampaignDir returns the subdirectory (relative to the manifest's
+// directory) a campaign of the set checkpoints into — the same
+// <region>-<kind> layout single-campaign runs use.
+func CampaignDir(camp Campaign) string {
+	return camp.Region + "-" + camp.Kind
+}
+
+// WriteManifest commits the manifest into dir by atomic rename, creating
+// the directory if needed. It is written once, before any campaign starts,
+// so a kill at any later point leaves a loadable manifest behind.
+func WriteManifest(dir string, m Manifest) error {
+	m.Version = ManifestVersion
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return atomicWrite(filepath.Join(dir, ManifestFile), func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	}, nil)
+}
+
+// LoadManifest reads the command manifest under dir. It returns
+// (nil, nil) when dir exists but holds no manifest — the caller then falls
+// back to the single-campaign resume path.
+func LoadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("checkpoint: parsing %s: %w", filepath.Join(dir, ManifestFile), err)
+	}
+	if m.Version != ManifestVersion {
+		return nil, fmt.Errorf("checkpoint: %s has manifest version %d, want %d", filepath.Join(dir, ManifestFile), m.Version, ManifestVersion)
+	}
+	return &m, nil
+}
+
+// LoadCampaign loads one campaign's checkpoint from its subdirectory of a
+// command checkpoint set. It returns (nil, nil) when the campaign never
+// checkpointed (killed before its first commit) — the resume path then
+// runs it from scratch.
+func LoadCampaign(dir string, camp Campaign) (*Checkpoint, error) {
+	sub := filepath.Join(dir, CampaignDir(camp))
+	if _, err := os.Stat(filepath.Join(sub, MetaFile)); os.IsNotExist(err) {
+		return nil, nil
+	}
+	return Load(sub)
+}

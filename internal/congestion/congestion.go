@@ -192,10 +192,16 @@ func HourlyProbability(s Series, events []Event, utcOffset int) [24]float64 {
 // Fig. 8 rule: more than fracDays of its measured days contain at least one
 // congestion event (the paper used 10 %).
 func CongestedPair(s Series, det *Detector, fracDays float64) bool {
+	return CongestedPairIn(NewPartition(s), det, fracDays)
+}
+
+// CongestedPairIn is CongestedPair over a prepared partition, so callers
+// that already hold one (the incremental campaign feed, the memoized
+// analyses) skip the re-partition.
+func CongestedPairIn(p *Partition, det *Detector, fracDays float64) bool {
 	if fracDays <= 0 {
 		fracDays = 0.1
 	}
-	p := NewPartition(s)
 	days := p.Days(det.MinSamples)
 	if len(days) == 0 {
 		return false

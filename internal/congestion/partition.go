@@ -3,6 +3,7 @@ package congestion
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"github.com/clasp-measurement/clasp/internal/obs"
 	"github.com/clasp-measurement/clasp/internal/stats"
@@ -21,14 +22,17 @@ var (
 // plus a cheap scan per threshold.
 //
 // A Partition is cheap to build (one pass when samples are time-sorted,
-// as grouped campaign series are) and safe for concurrent *tallies* once
-// the lazy caches are warmed; the analysis engine builds one partition
-// per series inside each worker, so no cross-goroutine sharing occurs.
+// as grouped campaign series are) and safe for concurrent use once built:
+// campaigns prepare one partition per series during measurement and every
+// downstream analysis — possibly several rendering concurrently — shares
+// it, so the lazy caches are filled under a lock.
 type Partition struct {
 	pairID  string
 	samples []Sample
 	days    []Day   // ascending by day index; every day with >= 1 sample
 	dayOf   []int32 // per-sample index into days
+
+	mu sync.Mutex // guards the lazy caches below
 
 	// vhq caches VH(s,t) for samples on qualifying days (>= vhqMin
 	// samples); samples on zero-peak days are kept as NaN so they count
@@ -229,6 +233,8 @@ func (p *Partition) hourVH(minSamples int) []float64 {
 	if minSamples <= 0 {
 		minSamples = 4
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.vhq != nil && p.vhqMin == minSamples {
 		return p.vhq
 	}
@@ -267,6 +273,8 @@ func (p *Partition) HourTally(h float64, minSamples int) (events, hours int) {
 // when Tmax is noise-prone; keeping them beside the partition means a
 // sweep that wants them pays one sort per day total, not per threshold.
 func (p *Partition) DayMedians() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.medians != nil || len(p.days) == 0 {
 		return p.medians
 	}

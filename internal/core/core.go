@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"time"
 
 	"github.com/clasp-measurement/clasp/internal/alias"
@@ -16,6 +17,7 @@ import (
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/checkpoint"
 	"github.com/clasp-measurement/clasp/internal/cloud"
+	"github.com/clasp-measurement/clasp/internal/congestion"
 	"github.com/clasp-measurement/clasp/internal/faults"
 	"github.com/clasp-measurement/clasp/internal/netsim"
 	"github.com/clasp-measurement/clasp/internal/orchestrator"
@@ -153,6 +155,45 @@ type CLASP struct {
 	// resume tests return a sentinel error from it to stop a campaign
 	// with a valid checkpoint on disk.
 	testCheckpointHook func(orchestrator.Progress) error
+
+	// pool is the engine-wide VM-worker budget: Opts.Parallelism slots
+	// shared by every campaign this engine runs, so concurrent campaigns
+	// (report all, costs) together never exceed the requested parallelism.
+	// A lone campaign sees an uncontended pool of exactly its own size —
+	// behaviour and bytes unchanged.
+	pool *orchestrator.WorkerPool
+
+	// Selection memos. The two selection methods are pure functions of the
+	// seed, but expensive — at paper scale they dominate `report all`
+	// (Table 1, Fig. 7 and the campaigns each re-ran them before this
+	// cache). The mutex is held across the computation: pilot scans share
+	// bdrmap/alias state, so selections must also never run concurrently.
+	selMu    sync.Mutex
+	topoSels map[string]*topoSelMemo
+	diffSels map[string]*diffSelMemo
+
+	// sched, when non-nil, is the command scheduler coordinating this
+	// engine's campaigns; runCampaign reports round completions to it.
+	sched *CommandScheduler
+
+	// regionLocks serialize campaigns measuring the same region. VM names
+	// (clasp-<region>-<tier>-<i>) and the platform's per-name fault
+	// counters are scoped by region only, so a topology and a differential
+	// campaign in one region must never deploy concurrently; campaigns in
+	// different regions still overlap freely.
+	regionMu    sync.Mutex
+	regionLocks map[string]*sync.Mutex
+}
+
+type topoSelMemo struct {
+	sel *selection.TopoResult
+	err error
+}
+
+type diffSelMemo struct {
+	sel    []selection.DiffSelected
+	deltas []speedchecker.TierDelta
+	err    error
 }
 
 // New builds a CLASP instance.
@@ -200,36 +241,79 @@ func New(opts Options) (*CLASP, error) {
 	}
 	resolver := alias.NewProber(topo, opts.Seed)
 	return &CLASP{
-		Opts:     opts,
-		Topo:     topo,
-		Router:   router,
-		Sim:      sim,
-		Cloud:    platform,
-		Bucket:   bucket,
-		Store:    tsdb.NewStore(),
-		Mapper:   bdrmap.FromTopology(topo, resolver),
-		Resolver: resolver,
-		Checker:  speedchecker.New(sim),
+		Opts:        opts,
+		Topo:        topo,
+		Router:      router,
+		Sim:         sim,
+		Cloud:       platform,
+		Bucket:      bucket,
+		Store:       tsdb.NewStore(),
+		Mapper:      bdrmap.FromTopology(topo, resolver),
+		Resolver:    resolver,
+		Checker:     speedchecker.New(sim),
+		pool:        orchestrator.NewWorkerPool(opts.Parallelism),
+		topoSels:    make(map[string]*topoSelMemo),
+		diffSels:    make(map[string]*diffSelMemo),
+		regionLocks: make(map[string]*sync.Mutex),
 	}, nil
 }
 
+// lockRegion acquires the region's campaign lock and returns its release.
+func (c *CLASP) lockRegion(region string) func() {
+	c.regionMu.Lock()
+	mu, ok := c.regionLocks[region]
+	if !ok {
+		mu = &sync.Mutex{}
+		c.regionLocks[region] = mu
+	}
+	c.regionMu.Unlock()
+	mu.Lock()
+	return mu.Unlock
+}
+
 // SelectTopologyServers runs the topology-based method for one region,
-// applying the region's budget from RegionBudgets.
+// applying the region's budget from RegionBudgets. The result is memoized
+// per region for the engine's lifetime — the selection is a pure function
+// of the seed (ResumeCampaign has always relied on that), and one `report
+// all` used to recompute the same regions for Table 1, Fig. 7 and the
+// campaigns. Concurrent callers for any regions serialize on one mutex,
+// because the pilot scans share bdrmap/alias state.
 func (c *CLASP) SelectTopologyServers(region string) (*selection.TopoResult, error) {
-	return selection.TopologyBased(c.Sim, c.Mapper, selection.TopoParams{
+	c.selMu.Lock()
+	defer c.selMu.Unlock()
+	if m, ok := c.topoSels[region]; ok {
+		return m.sel, m.err
+	}
+	sel, err := selection.TopologyBased(c.Sim, c.Mapper, selection.TopoParams{
 		Region: region,
 		Budget: RegionBudgets[region],
 		Seed:   c.Opts.Seed,
 	})
+	c.topoSels[region] = &topoSelMemo{sel: sel, err: err}
+	return sel, err
 }
 
 // SelectDifferentialServers runs the preliminary latency scan and the
 // differential-based method for one region. minSamples scales with the
 // topology (the paper's >= 100 rule assumes Speedchecker-scale VP counts).
+// Like the topology method, results are memoized per (region, minSamples)
+// under the selection mutex.
 func (c *CLASP) SelectDifferentialServers(region string, minSamples int) ([]selection.DiffSelected, []speedchecker.TierDelta, error) {
 	if minSamples <= 0 {
 		minSamples = 100
 	}
+	c.selMu.Lock()
+	defer c.selMu.Unlock()
+	key := fmt.Sprintf("%s/%d", region, minSamples)
+	if m, ok := c.diffSels[key]; ok {
+		return m.sel, m.deltas, m.err
+	}
+	sel, deltas, err := c.selectDifferentialServers(region, minSamples)
+	c.diffSels[key] = &diffSelMemo{sel: sel, deltas: deltas, err: err}
+	return sel, deltas, err
+}
+
+func (c *CLASP) selectDifferentialServers(region string, minSamples int) ([]selection.DiffSelected, []speedchecker.TierDelta, error) {
 	aggs := c.Checker.RunPreliminary(speedchecker.Params{
 		Regions:    []string{region},
 		MinSamples: minSamples,
@@ -263,6 +347,47 @@ type CampaignResult struct {
 	Log      *analysis.RecordLog
 	Report   *orchestrator.Report
 	Selected []*topology.Server
+
+	// Prep holds the incrementally built per-pair series and day
+	// partitions, fed record-by-record during the campaign's emit phase so
+	// grouping and partitioning overlap measurement. nil for streaming
+	// (memory-budgeted) campaigns, which trade the prepared views for the
+	// bounded footprint; analyses fall back to the cursor kernels.
+	Prep *analysis.CampaignPrep
+}
+
+// PreparedSeries returns the incrementally grouped per-pair series for a
+// (direction, tier) when the campaign built them — identical to
+// analysis.GroupSeriesWithServerCursor over Cursor(), which is the
+// fallback callers run when ok is false.
+func (r *CampaignResult) PreparedSeries(dir netsim.Direction, tier bgp.Tier) ([]analysis.SeriesWithServer, bool) {
+	return r.Prep.Series(dir, tier)
+}
+
+// PreparedPartitions returns the incrementally built day partitions for a
+// download (direction, tier), index-aligned with PreparedSeries. Each
+// equals congestion.NewPartition of the corresponding series.
+func (r *CampaignResult) PreparedPartitions(dir netsim.Direction, tier bgp.Tier) ([]*congestion.Partition, bool) {
+	return r.Prep.Partitions(dir, tier)
+}
+
+// SeriesAndPartitions returns the campaign's per-pair series and their
+// index-aligned day partitions for a (direction, tier), from the prepared
+// incremental views when the campaign built them and from the cursor
+// kernels otherwise. Both paths produce identical values, so analyses can
+// consume whichever is available without changing output.
+func (r *CampaignResult) SeriesAndPartitions(dir netsim.Direction, tier bgp.Tier) ([]analysis.SeriesWithServer, []*congestion.Partition) {
+	sw, ok := r.PreparedSeries(dir, tier)
+	if !ok {
+		sw = analysis.GroupSeriesWithServerCursor(r.Cursor(), dir, tier)
+	} else if parts, ok := r.PreparedPartitions(dir, tier); ok {
+		return sw, parts
+	}
+	parts := make([]*congestion.Partition, len(sw))
+	for i := range sw {
+		parts[i] = congestion.NewPartition(sw[i].Series)
+	}
+	return sw, parts
 }
 
 // Cursor returns a fresh replayable cursor over the campaign's records in
@@ -321,40 +446,29 @@ func (r *CampaignResult) Close() error {
 // RunTopologyCampaign selects servers with the topology-based method and
 // measures them hourly (premium tier) for the given number of days.
 func (c *CLASP) RunTopologyCampaign(region string, days int) (*CampaignResult, *selection.TopoResult, error) {
-	sel, err := c.SelectTopologyServers(region)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: topology selection in %s: %w", region, err)
-	}
-	servers := make([]*topology.Server, 0, len(sel.Selected))
-	for _, s := range sel.Selected {
-		servers = append(servers, s.Server)
-	}
-	res, err := c.runCampaign(c.campaignIdentity("topology", region, days, 0), servers, []bgp.Tier{bgp.Premium}, nil)
+	p, err := c.PlanTopologyCampaign(region, days)
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, sel, nil
+	res, err := c.RunPlanned(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, p.TopoSel, nil
 }
 
 // RunDifferentialCampaign selects servers with the differential-based
 // method and measures them hourly over both tiers.
 func (c *CLASP) RunDifferentialCampaign(region string, days, minSamples int) (*CampaignResult, []selection.DiffSelected, error) {
-	sel, _, err := c.SelectDifferentialServers(region, minSamples)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: differential selection in %s: %w", region, err)
-	}
-	if len(sel) == 0 {
-		return nil, nil, fmt.Errorf("core: differential selection in %s found no servers", region)
-	}
-	servers := make([]*topology.Server, 0, len(sel))
-	for _, s := range sel {
-		servers = append(servers, s.Server)
-	}
-	res, err := c.runCampaign(c.campaignIdentity("differential", region, days, minSamples), servers, []bgp.Tier{bgp.Premium, bgp.Standard}, nil)
+	p, err := c.PlanDifferentialCampaign(region, days, minSamples)
 	if err != nil {
 		return nil, nil, err
 	}
-	return res, sel, nil
+	res, err := c.RunPlanned(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, p.DiffSel, nil
 }
 
 // storeIndexLimit bounds how large a campaign still gets indexed into the
@@ -428,6 +542,16 @@ func (c *CLASP) runCampaign(camp checkpoint.Campaign, servers []*topology.Server
 	if est <= storeIndexLimit {
 		sinks = append(sinks, &orchestrator.StoreSink{Store: c.Store})
 	}
+	// In-memory campaigns build their analysis views (per-pair series, day
+	// partitions) incrementally from the emit phase, so the grouping work
+	// the artifact renderers start from overlaps measurement. Streaming
+	// campaigns skip it: the prepared views would hold every sample and
+	// defeat the memory budget.
+	var prep *analysis.CampaignPrep
+	if slice != nil {
+		prep = analysis.NewCampaignPrep()
+		sinks = append(sinks, orchestrator.SinkFunc(prep.Record))
+	}
 
 	// Checkpointing needs the record stream in RecordLog form for the
 	// sidecar: streaming campaigns reuse their primary log, slice
@@ -460,6 +584,10 @@ func (c *CLASP) runCampaign(camp checkpoint.Campaign, servers []*topology.Server
 		CaptureEvery:    c.Opts.CaptureEvery,
 		TracerouteEvery: c.Opts.TracerouteEvery,
 		Faults:          prof,
+		Workers:         c.pool,
+	}
+	if s := c.sched; s != nil {
+		cfg.OnRound = s.roundDone
 	}
 	if ckWriter != nil {
 		cfg.CheckpointEvery = camp.Every
@@ -479,21 +607,36 @@ func (c *CLASP) runCampaign(camp checkpoint.Campaign, servers []*topology.Server
 		// Replay the checkpointed records through the same sinks a live
 		// round's emit phase feeds, rebuilding the record slice/log, the
 		// store index and the next checkpoint's sidecar in one pass; the
-		// orchestrator then re-executes only from the watermark.
-		if err := resume.Replay(sinks.Record); err != nil {
+		// orchestrator then re-executes only from the watermark. Egress is
+		// re-metered per replayed record with the emit phase's formula, so
+		// a resumed `costs` bills the same transfers as an uninterrupted
+		// run.
+		if err := resume.Replay(func(m analysis.Measurement) {
+			sinks.Record(m)
+			c.Cloud.RecordEgress(m.Tier, orchestrator.TestEgressBytes(m, 0))
+		}); err != nil {
 			return nil, fmt.Errorf("core: resuming campaign in %s: %w", region, err)
 		}
 		prog := resume.Meta.Progress
 		cfg.Resume = &prog
 	}
+	// The deploy/measure/teardown window holds the region lock: VM names
+	// and the platform's per-name fault counters are region-scoped, so two
+	// campaigns in one region must not hold live VMs at the same time.
+	unlock := c.lockRegion(region)
 	rep, err := orch.Run(cfg, sinks)
+	unlock()
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign in %s: %w", region, err)
+	}
+	if prep != nil {
+		prep.Finish()
 	}
 	res := &CampaignResult{
 		Region:   region,
 		Report:   rep,
 		Selected: servers,
+		Prep:     prep,
 	}
 	if logSink != nil {
 		// Streaming mode holds only compressed blocks; spilling them moves
@@ -532,39 +675,18 @@ func ResumeOptions(camp checkpoint.Campaign) Options {
 // new checkpoints keep committing into the checkpoint's own directory.
 func (c *CLASP) ResumeCampaign(ck *checkpoint.Checkpoint) (*CampaignResult, error) {
 	camp := ck.Meta.Campaign
-	if c.Opts.Seed != camp.Seed {
-		return nil, fmt.Errorf("core: engine seed %d does not match checkpoint seed %d", c.Opts.Seed, camp.Seed)
+	if err := c.checkCampaignIdentity(camp); err != nil {
+		return nil, err
 	}
-	if camp.Scale != 0 && c.Opts.Scale != camp.Scale {
-		return nil, fmt.Errorf("core: engine scale %v does not match checkpoint scale %v", c.Opts.Scale, camp.Scale)
+	p, err := c.PlanRef(CampaignRef{Kind: camp.Kind, Region: camp.Region, Days: camp.Days, MinSamples: camp.MinSamples})
+	if err != nil {
+		return nil, err
 	}
-	if normalizeProfile(c.Opts.FaultProfile) != normalizeProfile(camp.FaultProfile) {
-		return nil, fmt.Errorf("core: engine fault profile %q does not match checkpoint profile %q", c.Opts.FaultProfile, camp.FaultProfile)
-	}
-	switch camp.Kind {
-	case "topology":
-		sel, err := c.SelectTopologyServers(camp.Region)
-		if err != nil {
-			return nil, fmt.Errorf("core: topology selection in %s: %w", camp.Region, err)
-		}
-		servers := make([]*topology.Server, 0, len(sel.Selected))
-		for _, s := range sel.Selected {
-			servers = append(servers, s.Server)
-		}
-		return c.runCampaign(camp, servers, []bgp.Tier{bgp.Premium}, ck)
-	case "differential":
-		sel, _, err := c.SelectDifferentialServers(camp.Region, camp.MinSamples)
-		if err != nil {
-			return nil, fmt.Errorf("core: differential selection in %s: %w", camp.Region, err)
-		}
-		servers := make([]*topology.Server, 0, len(sel))
-		for _, s := range sel {
-			servers = append(servers, s.Server)
-		}
-		return c.runCampaign(camp, servers, []bgp.Tier{bgp.Premium, bgp.Standard}, ck)
-	default:
-		return nil, fmt.Errorf("core: unknown campaign kind %q in checkpoint", camp.Kind)
-	}
+	// Keep the checkpoint's own identity (it carries the cadences the
+	// killed run committed with) and its directory for further commits.
+	p.Camp = camp
+	p.ck = ck
+	return c.RunPlanned(p)
 }
 
 // normalizeProfile folds the two spellings of the fault-free profile.

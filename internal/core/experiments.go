@@ -20,27 +20,31 @@ import (
 // RunTopologyCampaigns runs the topology-based campaign in several regions
 // concurrently — the deployment shape of the paper, where all regions
 // measured in parallel for the whole window. Server selection stays
-// sequential (the pilot scans share bdrmap/alias state); the campaigns then
-// fan out one goroutine per region over the shared, thread-safe platform,
-// bucket and store. Each region's records are identical to running its
-// campaign alone with the same seed.
+// sequential (the pilot scans share bdrmap/alias state); the planned
+// campaigns then fan out one goroutine per region over the shared,
+// thread-safe platform, bucket and store, with the engine's worker pool
+// capping their combined VM concurrency at Opts.Parallelism — the global
+// budget, not a per-campaign one. Each region's records are identical to
+// running its campaign alone with the same seed.
 func (c *CLASP) RunTopologyCampaigns(regions []string, days int) (map[string]*CampaignResult, map[string]*selection.TopoResult, error) {
-	type plan struct {
-		region  string
-		sel     *selection.TopoResult
-		servers []*topology.Server
+	// When a command scheduler is attached (`costs`, resumed commands), it
+	// owns planning and execution: progress registers command-wide and
+	// already-finished checkpointed campaigns load instead of re-running.
+	planOne := c.PlanTopologyCampaign
+	runOne := c.RunPlanned
+	if s := c.sched; s != nil {
+		planOne = func(region string, days int) (*PlannedCampaign, error) {
+			return s.Plan(CampaignRef{Kind: "topology", Region: region, Days: days})
+		}
+		runOne = s.Run
 	}
-	plans := make([]plan, 0, len(regions))
+	plans := make([]*PlannedCampaign, 0, len(regions))
 	for _, region := range regions {
-		sel, err := c.SelectTopologyServers(region)
+		p, err := planOne(region, days)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: topology selection in %s: %w", region, err)
+			return nil, nil, err
 		}
-		servers := make([]*topology.Server, 0, len(sel.Selected))
-		for _, s := range sel.Selected {
-			servers = append(servers, s.Server)
-		}
-		plans = append(plans, plan{region: region, sel: sel, servers: servers})
+		plans = append(plans, p)
 	}
 	results := make([]*CampaignResult, len(plans))
 	errs := make([]error, len(plans))
@@ -49,7 +53,7 @@ func (c *CLASP) RunTopologyCampaigns(regions []string, days int) (map[string]*Ca
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.runCampaign(c.campaignIdentity("topology", plans[i].region, days, 0), plans[i].servers, []bgp.Tier{bgp.Premium}, nil)
+			results[i], errs[i] = runOne(plans[i])
 		}(i)
 	}
 	wg.Wait()
@@ -59,8 +63,8 @@ func (c *CLASP) RunTopologyCampaigns(regions []string, days int) (map[string]*Ca
 		if errs[i] != nil {
 			return nil, nil, errs[i]
 		}
-		out[p.region] = results[i]
-		sels[p.region] = p.sel
+		out[p.Camp.Region] = results[i]
+		sels[p.Camp.Region] = p.TopoSel
 	}
 	return out, sels, nil
 }
@@ -138,8 +142,7 @@ func Fig2(results map[string]*CampaignResult, hs []float64, parallelism int) []F
 	out := make([]Fig2Series, len(regions))
 	analysis.ParallelFor(parallelism, len(regions), func(i int) {
 		region := regions[i]
-		series := analysis.GroupSeriesCursor(results[region].Cursor(), netsim.Download, bgp.Premium)
-		parts := congestion.Partitions(series)
+		_, parts := results[region].SeriesAndPartitions(netsim.Download, bgp.Premium)
 		s := Fig2Series{
 			Region: region,
 			Days:   congestion.SweepDaysPartitioned(parts, hs, 0),
@@ -360,14 +363,14 @@ func (c *CLASP) Fig6(result *CampaignResult, tier bgp.Tier, topN int) []Fig6Line
 		topN = 10
 	}
 	det := congestion.NewDetector()
-	series := analysis.GroupSeriesWithServerCursor(result.Cursor(), netsim.Download, tier)
+	series, parts := result.SeriesAndPartitions(netsim.Download, tier)
 	type cand struct {
 		line   Fig6Line
 		events int
 	}
 	var cands []cand
-	for _, sw := range series {
-		events := det.Events(sw.Series)
+	for i, sw := range series {
+		events := det.EventsIn(parts[i])
 		if len(events) == 0 {
 			continue
 		}
@@ -443,12 +446,12 @@ func (c *CLASP) Fig7(region string, topo *selection.TopoResult, diff []selection
 // event) and groups by business type.
 func (c *CLASP) Fig8(result *CampaignResult, tier bgp.Tier) []analysis.Fig8Row {
 	det := congestion.NewDetector()
-	series := analysis.GroupSeriesWithServerCursor(result.Cursor(), netsim.Download, tier)
+	series, parts := result.SeriesAndPartitions(netsim.Download, tier)
 	congested := make(map[int]bool)
 	var ids []int
-	for _, sw := range series {
+	for i, sw := range series {
 		ids = append(ids, sw.ServerID)
-		if congestion.CongestedPair(sw.Series, det, 0.1) {
+		if congestion.CongestedPairIn(parts[i], det, 0.1) {
 			congested[sw.ServerID] = true
 		}
 	}
@@ -495,14 +498,14 @@ func (c *CLASP) ComputeHeadlines(topoResults map[string]*CampaignResult, diff *C
 	analysis.ParallelFor(c.Opts.Parallelism, len(regions), func(i int) {
 		res := topoResults[regions[i]]
 		t := &tallies[i]
-		for _, sw := range analysis.GroupSeriesWithServerCursor(res.Cursor(), netsim.Download, bgp.Premium) {
-			part := congestion.NewPartition(sw.Series)
-			ev, hrs := part.HourTally(det.H, det.MinSamples)
+		series, parts := res.SeriesAndPartitions(netsim.Download, bgp.Premium)
+		for j, sw := range series {
+			ev, hrs := parts[j].HourTally(det.H, det.MinSamples)
 			t.hourEvents += ev
 			t.hourTotal += hrs
 			if analysis.BusinessOf(c.Topo, sw.ServerID) == topology.BizISP {
 				t.ispPairs++
-				if congestion.CongestedPair(sw.Series, det, 0.1) {
+				if congestion.CongestedPairIn(parts[j], det, 0.1) {
 					t.ispCongested++
 				}
 			}

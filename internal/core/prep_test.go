@@ -1,0 +1,64 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/clasp-measurement/clasp/internal/analysis"
+	"github.com/clasp-measurement/clasp/internal/bgp"
+	"github.com/clasp-measurement/clasp/internal/congestion"
+	"github.com/clasp-measurement/clasp/internal/netsim"
+)
+
+// TestPreparedMatchesCursor is the incremental-analysis equivalence
+// property the pipelined scheduler rests on: the per-pair series and day
+// partitions a campaign builds incrementally during its emit phase
+// (CampaignPrep, fed round by round) must equal what the post-hoc kernels
+// compute over the finished record stream. Byte-identical `report all`
+// output at any parallelism follows from this plus deterministic merge.
+func TestPreparedMatchesCursor(t *testing.T) {
+	c, err := New(Options{Seed: 3, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := c.RunTopologyCampaign("us-west1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range []netsim.Direction{netsim.Download, netsim.Upload} {
+		sw, ok := res.PreparedSeries(dir, bgp.Premium)
+		if !ok {
+			t.Fatalf("campaign has no prepared series for %v/premium", dir)
+		}
+		want := analysis.GroupSeriesWithServerCursor(res.Cursor(), dir, bgp.Premium)
+		if !reflect.DeepEqual(sw, want) {
+			t.Fatalf("prepared series for %v/premium differ from the cursor grouping (%d vs %d series)",
+				dir, len(sw), len(want))
+		}
+	}
+
+	parts, ok := res.PreparedPartitions(netsim.Download, bgp.Premium)
+	if !ok {
+		t.Fatal("campaign has no prepared download partitions")
+	}
+	want := analysis.GroupSeriesWithServerCursor(res.Cursor(), netsim.Download, bgp.Premium)
+	if len(parts) != len(want) {
+		t.Fatalf("%d prepared partitions for %d series", len(parts), len(want))
+	}
+	const minSamples = 4
+	for i, sw := range want {
+		ref := congestion.NewPartition(sw.Series)
+		if !reflect.DeepEqual(parts[i].Days(minSamples), ref.Days(minSamples)) {
+			t.Fatalf("partition %d (%s): prepared day split differs from NewPartition", i, sw.Series.PairID)
+		}
+		if !reflect.DeepEqual(parts[i].DayMedians(), ref.DayMedians()) {
+			t.Fatalf("partition %d (%s): prepared day medians differ from NewPartition", i, sw.Series.PairID)
+		}
+		gotEv, gotHr := parts[i].HourTally(0.2, minSamples)
+		wantEv, wantHr := ref.HourTally(0.2, minSamples)
+		if gotEv != wantEv || gotHr != wantHr {
+			t.Fatalf("partition %d (%s): prepared hour tally (%d,%d) != post-hoc (%d,%d)",
+				i, sw.Series.PairID, gotEv, gotHr, wantEv, wantHr)
+		}
+	}
+}

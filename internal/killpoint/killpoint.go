@@ -18,6 +18,10 @@
 //	                previous checkpoint must stay intact
 //	round-boundary  a checkpoint just committed — resume must continue
 //	                from exactly this round
+//	campaign-done   the Nth campaign of a multi-campaign command (report
+//	                all, costs) just completed — here the "hour" is the
+//	                1-based completion count, and resume must skip the
+//	                finished campaigns instead of re-measuring them
 package killpoint
 
 import (

@@ -68,6 +68,22 @@ func PlanVMsForTests(tests int) int {
 	return (tests + TestsPerVMPerHour - 1) / TestsPerVMPerHour
 }
 
+// TestEgressBytes is the emit phase's egress formula for one completed
+// test: uploads push the full transfer out of the cloud, downloads only
+// return ACKs (~2%). durSec <= 0 uses the default test duration. Exposed
+// so checkpoint replay can re-meter the same transfers a live emit phase
+// billed, keeping a resumed `costs` consistent with an uninterrupted run.
+func TestEgressBytes(m analysis.Measurement, durSec float64) int64 {
+	if durSec <= 0 {
+		durSec = 15
+	}
+	xfer := int64(m.Mbps * 1e6 / 8 * durSec)
+	if m.Dir == netsim.Upload {
+		return xfer
+	}
+	return xfer / 50
+}
+
 // Sink consumes measurement records as the campaign produces them, so
 // full-scale runs need not hold every record in memory.
 //
@@ -87,6 +103,12 @@ type SliceSink struct {
 
 // Record implements Sink.
 func (s *SliceSink) Record(m analysis.Measurement) { s.Out = append(s.Out, m) }
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(analysis.Measurement)
+
+// Record implements Sink.
+func (f SinkFunc) Record(m analysis.Measurement) { f(m) }
 
 // LockedSink serialises access to an inner sink, making it safe to share
 // across concurrently running campaigns.
@@ -240,6 +262,19 @@ type Config struct {
 	// on, emitting into the same sink. Every other Config field must match
 	// the original run for the byte-identical guarantee to hold.
 	Resume *Progress
+	// Workers, when set, is a command-wide VM-worker budget shared with the
+	// other campaigns of a multi-campaign command: every VM round and
+	// traceroute batch entry holds a pool slot while it runs, so concurrent
+	// campaigns together never exceed the pool's capacity even though each
+	// still spawns up to Parallelism goroutines. nil keeps the historical
+	// per-campaign budget. Purely a scheduling constraint — the measurement
+	// set stays bit-identical with or without it.
+	Workers *WorkerPool
+	// OnRound is called after each completed round (hour) with the
+	// campaign's completed-hour watermark and total hours, from the
+	// campaign's own goroutine. Multi-campaign schedulers use it to
+	// aggregate whole-command progress; nil disables it.
+	OnRound func(done, total int)
 }
 
 // Progress is the serializable cross-round state of a running campaign —
@@ -615,6 +650,9 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 				return nil, err
 			}
 			metrics.setProgress(hour+1, totalHours, wallStart)
+			if cfg.OnRound != nil {
+				cfg.OnRound(hour+1, totalHours)
+			}
 			continue
 		}
 		phaseStart = time.Now()
@@ -665,14 +703,9 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			})
 			rep.Tests++
 			metrics.incCompleted()
-			// Egress accounting: uploads push the full transfer out of
-			// the cloud; downloads only return ACKs (~2%).
-			xferBytes := int64(res.ThroughputMbps * 1e6 / 8 * cfg.TestDurationSec)
-			if t.dir == netsim.Upload {
-				o.platform.RecordEgress(t.tier, xferBytes)
-			} else {
-				o.platform.RecordEgress(t.tier, xferBytes/50)
-			}
+			o.platform.RecordEgress(t.tier, TestEgressBytes(analysis.Measurement{
+				Dir: t.dir, Mbps: res.ThroughputMbps,
+			}, cfg.TestDurationSec))
 			if t.capture {
 				rep.Captures++
 				metrics.incCaptures()
@@ -686,7 +719,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			phaseStart = time.Now()
 			trSpan := campSpan.Child("traceroute").WithInt("hour", hour).WithInt("servers", len(cfg.Servers))
 			trs := make([]traceroute.Result, len(cfg.Servers))
-			err := forEachLimit(len(cfg.Servers), cfg.Parallelism, func(i int) error {
+			err := forEachLimit(len(cfg.Servers), cfg.Parallelism, cfg.Workers.Wrap(func(i int) error {
 				srv := cfg.Servers[i]
 				w := workers[i%len(workers)]
 				tr, err := w.prober.Trace(traceroute.Destination{
@@ -697,7 +730,7 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 				}
 				trs[i] = tr
 				return nil
-			})
+			}))
 			if err != nil {
 				return nil, err
 			}
@@ -723,6 +756,9 @@ func (o *Orchestrator) Run(cfg Config, sink Sink) (*Report, error) {
 			return nil, err
 		}
 		metrics.setProgress(hour+1, totalHours, wallStart)
+		if cfg.OnRound != nil {
+			cfg.OnRound(hour+1, totalHours)
+		}
 	}
 	o.platform.AccrueVMHours(totalVMs, time.Duration(totalHours)*time.Hour, cloud.N1Standard2)
 	for _, w := range workers {
@@ -916,7 +952,7 @@ func (o *Orchestrator) runRound(cfg Config, hourStart time.Time, hour int, tasks
 		return nil
 	}
 
-	if err := forEachLimit(len(workers), cfg.Parallelism, runVM); err != nil {
+	if err := forEachLimit(len(workers), cfg.Parallelism, cfg.Workers.Wrap(runVM)); err != nil {
 		return nil, nil, roundTally{}, err
 	}
 	var total roundTally

@@ -1,8 +1,11 @@
 package scenario
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"github.com/clasp-measurement/clasp/internal/bgp"
 	"github.com/clasp-measurement/clasp/internal/core"
@@ -33,50 +36,240 @@ func knownArtifacts() map[string]bool {
 	return set
 }
 
+// campaignKey identifies one campaign an artifact depends on. Days and
+// minSamples are part of the key, so a scenario measuring the same region
+// at two different lengths gets two distinct campaigns.
+type campaignKey struct {
+	kind       string
+	region     string
+	days       int
+	minSamples int
+}
+
+func (k campaignKey) ref() core.CampaignRef {
+	return core.CampaignRef{Kind: k.kind, Region: k.region, Days: k.days, MinSamples: k.minSamples}
+}
+
+// campaignEntry is the cache cell for one campaign: planning and running
+// each happen exactly once (two-stage singleflight), and every concurrent
+// requester blocks on the same execution instead of launching its own.
+type campaignEntry struct {
+	planOnce sync.Once
+	plan     *core.PlannedCampaign
+	planErr  error
+	runOnce  sync.Once
+	res      *core.CampaignResult
+	runErr   error
+}
+
 // ArtifactCache shares campaign results across the artifacts of one run so
 // each region is measured exactly once (the `report all` economics: ten of
-// the thirteen artifacts reuse the same six topology campaigns).
+// the thirteen artifacts reuse the same six topology campaigns). It is
+// safe for concurrent use: overlapping renderers requesting the same
+// campaign coalesce onto a single execution.
 type ArtifactCache struct {
-	topo    map[string]*core.CampaignResult
-	topoSel map[string]*selection.TopoResult
-	diff    map[string]*core.CampaignResult
-	diffSel map[string][]selection.DiffSelected
+	mu      sync.Mutex
+	entries map[campaignKey]*campaignEntry
+	sched   *core.CommandScheduler
+	fills   atomic.Int64
 }
 
 // NewArtifactCache returns an empty cache.
 func NewArtifactCache() *ArtifactCache {
-	return &ArtifactCache{
-		topo:    make(map[string]*core.CampaignResult),
-		topoSel: make(map[string]*selection.TopoResult),
-		diff:    make(map[string]*core.CampaignResult),
-		diffSel: make(map[string][]selection.DiffSelected),
+	return &ArtifactCache{entries: make(map[campaignKey]*campaignEntry)}
+}
+
+// UseScheduler routes the cache's campaign planning and execution through a
+// command scheduler, which accounts whole-command progress and, on resume,
+// skips campaigns whose checkpoints are already complete.
+func (c *ArtifactCache) UseScheduler(s *core.CommandScheduler) { c.sched = s }
+
+// Fills reports how many campaigns the cache has actually executed —
+// concurrent requests for the same campaign count once.
+func (c *ArtifactCache) Fills() int64 { return c.fills.Load() }
+
+func (c *ArtifactCache) entry(k campaignKey) *campaignEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &campaignEntry{}
+		c.entries[k] = e
 	}
+	return e
+}
+
+// planEntry runs the campaign's planning phase (selection, checkpoint
+// attachment) at most once.
+func (c *ArtifactCache) planEntry(eng *core.CLASP, k campaignKey) *campaignEntry {
+	e := c.entry(k)
+	e.planOnce.Do(func() {
+		if c.sched != nil {
+			e.plan, e.planErr = c.sched.Plan(k.ref())
+		} else {
+			e.plan, e.planErr = eng.PlanRef(k.ref())
+		}
+	})
+	return e
+}
+
+// runEntry executes the campaign at most once; concurrent callers block
+// until the single execution finishes.
+func (c *ArtifactCache) runEntry(eng *core.CLASP, k campaignKey) *campaignEntry {
+	e := c.planEntry(eng, k)
+	e.runOnce.Do(func() {
+		if e.planErr != nil {
+			e.runErr = e.planErr
+			return
+		}
+		c.fills.Add(1)
+		if c.sched != nil {
+			e.res, e.runErr = c.sched.Run(e.plan)
+		} else {
+			e.res, e.runErr = eng.RunPlanned(e.plan)
+		}
+	})
+	return e
 }
 
 func (c *ArtifactCache) topology(eng *core.CLASP, region string, days int) (*core.CampaignResult, *selection.TopoResult, error) {
-	if res, ok := c.topo[region]; ok {
-		return res, c.topoSel[region], nil
+	e := c.runEntry(eng, campaignKey{kind: "topology", region: region, days: days})
+	if e.runErr != nil {
+		return nil, nil, e.runErr
 	}
-	res, sel, err := eng.RunTopologyCampaign(region, days)
-	if err != nil {
-		return nil, nil, err
-	}
-	c.topo[region] = res
-	c.topoSel[region] = sel
-	return res, sel, nil
+	return e.res, e.plan.TopoSel, nil
 }
 
 func (c *ArtifactCache) differential(eng *core.CLASP, region string, days, minSamples int) (*core.CampaignResult, []selection.DiffSelected, error) {
-	if res, ok := c.diff[region]; ok {
-		return res, c.diffSel[region], nil
+	e := c.runEntry(eng, campaignKey{kind: "differential", region: region, days: days, minSamples: minSamples})
+	if e.runErr != nil {
+		return nil, nil, e.runErr
 	}
-	res, sel, err := eng.RunDifferentialCampaign(region, days, minSamples)
-	if err != nil {
-		return nil, nil, err
+	return e.res, e.plan.DiffSel, nil
+}
+
+// artifactCampaigns returns the campaigns one artifact renders from, in
+// the order its renderer requests them. Selection-only artifacts (table1)
+// return nothing; fig7 keeps its historical campaign dependency so its
+// standalone cost accounting is unchanged.
+func artifactCampaigns(artifact string, days, minSamples int) []campaignKey {
+	topo := func(regions ...string) []campaignKey {
+		out := make([]campaignKey, len(regions))
+		for i, r := range regions {
+			out[i] = campaignKey{kind: "topology", region: r, days: days}
+		}
+		return out
 	}
-	c.diff[region] = res
-	c.diffSel[region] = sel
-	return res, sel, nil
+	diff := func(regions ...string) []campaignKey {
+		out := make([]campaignKey, len(regions))
+		for i, r := range regions {
+			out[i] = campaignKey{kind: "differential", region: r, days: days, minSamples: minSamples}
+		}
+		return out
+	}
+	switch artifact {
+	case "fig2":
+		return topo(core.TopologyRegions...)
+	case "fig3", "fig6b":
+		return topo("us-west1")
+	case "fig4a", "fig7", "fig8":
+		return topo(core.Table1Regions...)
+	case "fig4b", "fig4c":
+		return diff(core.DifferentialRegions...)
+	case "fig5", "fig6c":
+		return diff("europe-west1")
+	case "fig6a":
+		return topo("us-east1")
+	case "headlines":
+		return append(topo(core.TopologyRegions...), diff("europe-west1")...)
+	}
+	return nil
+}
+
+// CampaignRefs returns the deduplicated campaign set an artifact list
+// depends on, in first-request order — the campaign plan a command
+// manifest records and Prelaunch executes.
+func CampaignRefs(artifacts []string, days, minSamples int) []core.CampaignRef {
+	var refs []core.CampaignRef
+	seen := make(map[campaignKey]bool)
+	for _, a := range artifacts {
+		names := []string{a}
+		if a == "all" {
+			names = artifactOrder
+		}
+		for _, name := range names {
+			for _, k := range artifactCampaigns(name, days, minSamples) {
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				refs = append(refs, k.ref())
+			}
+		}
+	}
+	return refs
+}
+
+// Prelaunch plans every campaign the artifact set needs (sequentially —
+// selections share pilot-scan state) and launches their executions in the
+// background. Renderers then block only on the campaigns they consume, so
+// analysis and rendering overlap measurement; the engine's shared worker
+// pool bounds how much measurement actually runs at once. Planning errors
+// return immediately; execution errors surface when a renderer requests
+// the failed campaign.
+func (c *ArtifactCache) Prelaunch(eng *core.CLASP, artifacts []string, days, minSamples int) error {
+	var keys []campaignKey
+	for _, ref := range CampaignRefs(artifacts, days, minSamples) {
+		keys = append(keys, campaignKey{kind: ref.Kind, region: ref.Region, days: ref.Days, minSamples: ref.MinSamples})
+	}
+	for _, k := range keys {
+		if e := c.planEntry(eng, k); e.planErr != nil {
+			return e.planErr
+		}
+	}
+	for _, k := range keys {
+		k := k
+		go c.runEntry(eng, k)
+	}
+	return nil
+}
+
+// renderAll renders every artifact of "all" concurrently, each into its
+// own buffer, and streams the buffers to out in the pinned artifact order.
+// Campaigns are prelaunched up front, so an artifact renders as soon as
+// its input campaigns complete — while later campaigns still measure —
+// and the concatenated output is byte-identical to the sequential loop.
+func renderAll(out io.Writer, p *clasp.Platform, cache *ArtifactCache, days, minSamples int) error {
+	if err := cache.Prelaunch(p.Engine(), artifactOrder, days, minSamples); err != nil {
+		return err
+	}
+	type slot struct {
+		buf  bytes.Buffer
+		err  error
+		done chan struct{}
+	}
+	slots := make([]*slot, len(artifactOrder))
+	for i := range artifactOrder {
+		s := &slot{done: make(chan struct{})}
+		slots[i] = s
+		go func(a string, s *slot) {
+			defer close(s.done)
+			core.Separator(&s.buf, a)
+			if err := RenderArtifact(&s.buf, p, cache, a, days, minSamples); err != nil {
+				s.err = fmt.Errorf("%s: %w", a, err)
+			}
+		}(artifactOrder[i], s)
+	}
+	for _, s := range slots {
+		<-s.done
+		if s.err != nil {
+			return s.err
+		}
+		if _, err := out.Write(s.buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RenderArtifact regenerates one (or all) paper artifacts. It is the single
@@ -218,12 +411,7 @@ func RenderArtifact(out io.Writer, p *clasp.Platform, cache *ArtifactCache, arti
 		core.WriteHeadlines(out, eng.ComputeHeadlines(results, diff))
 
 	case "all":
-		for _, a := range artifactOrder {
-			core.Separator(out, a)
-			if err := RenderArtifact(out, p, cache, a, days, minSamples); err != nil {
-				return fmt.Errorf("%s: %w", a, err)
-			}
-		}
+		return renderAll(out, p, cache, days, minSamples)
 
 	default:
 		return fmt.Errorf("unknown artifact %q", artifact)

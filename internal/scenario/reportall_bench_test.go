@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/clasp-measurement/clasp/internal/core"
+
+	clasp "github.com/clasp-measurement/clasp"
+)
+
+// reportAllBenchShape is the campaign shape both report-all benchmarks
+// run: small enough for -count=3 regression runs, large enough that the
+// nine campaigns and thirteen artifacts exercise the real pipeline.
+const (
+	benchSeed  = 3
+	benchScale = 0.1
+	benchDays  = 2
+)
+
+// BenchmarkReportAllSequential is the sequential rendering order: one
+// artifact at a time, campaigns measured on demand, no command scheduler.
+// It still shares campaigns and memoized selections through the cache, so
+// the gap to BenchmarkReportAllPipelined is the scheduling overlap alone;
+// the full against-main wall-clock comparison (which also includes the
+// shared-selection win) is recorded in EXPERIMENTS.md.
+func BenchmarkReportAllSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := core.New(core.Options{Seed: benchSeed, Scale: benchScale, Parallelism: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := clasp.NewFromCore(eng)
+		cache := NewArtifactCache()
+		for _, a := range artifactOrder {
+			core.Separator(io.Discard, a)
+			if err := RenderArtifact(io.Discard, p, cache, a, benchDays, 6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	reportPeakRSS(b)
+}
+
+// BenchmarkReportAllPipelined renders `report all` exactly like the CLI:
+// command scheduler attached, campaigns prelaunched and running
+// concurrently under the engine's worker budget, artifacts rendering as
+// their inputs complete, output order pinned.
+func BenchmarkReportAllPipelined(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng, err := core.New(core.Options{Seed: benchSeed, Scale: benchScale, Parallelism: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := clasp.NewFromCore(eng)
+		sched := eng.NewCommandScheduler("report-all")
+		cache := NewArtifactCache()
+		cache.UseScheduler(sched)
+		if err := RenderArtifact(io.Discard, p, cache, "all", benchDays, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportPeakRSS(b)
+}
+
+// reportPeakRSS attaches the process resident-set high-water mark (VmHWM)
+// to the benchmark — the peak-memory figure the report-all bench record
+// tracks next to wall-clock. Process-wide and monotone, so it covers
+// everything the bench process ran so far; on non-Linux it is omitted.
+func reportPeakRSS(b *testing.B) {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return
+		}
+		b.ReportMetric(kb/1024, "peak-RSS-MB")
+		return
+	}
+}

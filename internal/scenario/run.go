@@ -121,20 +121,14 @@ func (r *Runner) runCampaign(w io.Writer, s *Spec, c *CampaignSpec, p *clasp.Pla
 		core.Separator(w, c.Kind+" "+region)
 		var res *core.CampaignResult
 		var err error
+		// The cache keys on (kind, region, days, samples), so a campaign
+		// matching an artifact's shape shares its result and an overridden
+		// length gets its own entry.
 		switch c.Kind {
 		case KindTopology:
-			if days == s.days() {
-				// Same shape the artifacts would run — share the result.
-				res, _, err = cache.topology(eng, region, days)
-			} else {
-				res, _, err = eng.RunTopologyCampaign(region, days)
-			}
+			res, _, err = cache.topology(eng, region, days)
 		case KindDifferential:
-			if days == s.days() {
-				res, _, err = cache.differential(eng, region, days, s.minSamples())
-			} else {
-				res, _, err = eng.RunDifferentialCampaign(region, days, s.minSamples())
-			}
+			res, _, err = cache.differential(eng, region, days, s.minSamples())
 		}
 		if err != nil {
 			return err

@@ -24,9 +24,25 @@ type RegionProgress struct {
 	PhaseSecs  map[string]float64 `json:"phase_seconds,omitempty"`
 }
 
+// CommandProgress is the whole-command position a multi-campaign command
+// (report all, costs) publishes across its concurrently running campaigns:
+// hours aggregate over every campaign of the set, and the ETA covers the
+// full command rather than any single region.
+type CommandProgress struct {
+	Command        string  `json:"command"`
+	CampaignsTotal float64 `json:"campaigns_total"`
+	CampaignsDone  float64 `json:"campaigns_done"`
+	HoursTotal     float64 `json:"hours_total"`
+	HoursDone      float64 `json:"hours_done"`
+	ETASeconds     float64 `json:"eta_seconds"`
+}
+
 // ProgressResponse is the JSON document served at /progress.
 type ProgressResponse struct {
-	Regions []RegionProgress `json:"regions"`
+	// Commands aggregates whole-command progress (one entry per active
+	// multi-campaign command; empty for single-campaign runs).
+	Commands []CommandProgress `json:"commands,omitempty"`
+	Regions  []RegionProgress  `json:"regions"`
 }
 
 // breakerName renders the faults.BreakerState gauge values.
@@ -46,6 +62,24 @@ func breakerName(v float64) string {
 // label, so it works mid-campaign with whatever has registered so far.
 func BuildProgress(reg *obs.Registry) ProgressResponse {
 	byRegion := make(map[string]*RegionProgress)
+	byCommand := make(map[string]*CommandProgress)
+	getCmd := func(labels []string) *CommandProgress {
+		var name string
+		for i := 0; i+1 < len(labels); i += 2 {
+			if labels[i] == "command" {
+				name = labels[i+1]
+			}
+		}
+		if name == "" {
+			return nil
+		}
+		cp := byCommand[name]
+		if cp == nil {
+			cp = &CommandProgress{Command: name}
+			byCommand[name] = cp
+		}
+		return cp
+	}
 	get := func(labels []string) (*RegionProgress, string) {
 		var region, phase string
 		for i := 0; i+1 < len(labels); i += 2 {
@@ -67,6 +101,21 @@ func BuildProgress(reg *obs.Registry) ProgressResponse {
 		return rp, phase
 	}
 	for _, s := range reg.Samples() {
+		if cp := getCmd(s.Labels); cp != nil {
+			switch s.Name {
+			case "command_campaigns_total":
+				cp.CampaignsTotal = s.Value
+			case "command_campaigns_done":
+				cp.CampaignsDone = s.Value
+			case "command_hours_total":
+				cp.HoursTotal = s.Value
+			case "command_hours_done":
+				cp.HoursDone = s.Value
+			case "command_eta_seconds":
+				cp.ETASeconds = s.Value
+			}
+			continue
+		}
 		rp, phase := get(s.Labels)
 		if rp == nil {
 			continue
@@ -104,6 +153,10 @@ func BuildProgress(reg *obs.Registry) ProgressResponse {
 		resp.Regions = append(resp.Regions, *rp)
 	}
 	sort.Slice(resp.Regions, func(i, j int) bool { return resp.Regions[i].Region < resp.Regions[j].Region })
+	for _, cp := range byCommand {
+		resp.Commands = append(resp.Commands, *cp)
+	}
+	sort.Slice(resp.Commands, func(i, j int) bool { return resp.Commands[i].Command < resp.Commands[j].Command })
 	return resp
 }
 

@@ -307,6 +307,40 @@ func TestBuildProgress(t *testing.T) {
 	if got.Regions[0].Breaker != "closed" {
 		t.Fatalf("eu-west4 breaker = %q, want closed default", got.Regions[0].Breaker)
 	}
+	if len(got.Commands) != 0 {
+		t.Fatalf("single-campaign snapshot grew a commands section: %+v", got.Commands)
+	}
+}
+
+// TestBuildProgressCommands: command-labelled gauges (published by
+// core.CommandScheduler for report all / costs) aggregate into the
+// whole-command section, separate from and alongside the region series.
+func TestBuildProgressCommands(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	reg.Gauge("command_campaigns_total", "command", "report-all").Set(9)
+	reg.Gauge("command_campaigns_done", "command", "report-all").Set(3)
+	reg.Gauge("command_hours_total", "command", "report-all").Set(432)
+	reg.Gauge("command_hours_done", "command", "report-all").Set(150)
+	reg.Gauge("command_eta_seconds", "command", "report-all").Set(42)
+	reg.Gauge("command_campaigns_total", "command", "costs").Set(6)
+	reg.Gauge("campaign_hours_total", "region", "us-west1").Set(48)
+
+	got := BuildProgress(reg)
+	if len(got.Commands) != 2 {
+		t.Fatalf("commands = %+v, want costs and report-all", got.Commands)
+	}
+	if got.Commands[0].Command != "costs" || got.Commands[1].Command != "report-all" {
+		t.Fatalf("command order = %s, %s", got.Commands[0].Command, got.Commands[1].Command)
+	}
+	ra := got.Commands[1]
+	if ra.CampaignsTotal != 9 || ra.CampaignsDone != 3 || ra.HoursTotal != 432 || ra.HoursDone != 150 || ra.ETASeconds != 42 {
+		t.Fatalf("report-all progress = %+v", ra)
+	}
+	// The region series still builds independently.
+	if len(got.Regions) != 1 || got.Regions[0].HoursTotal != 48 {
+		t.Fatalf("regions = %+v, want the one us-west1 entry", got.Regions)
+	}
 }
 
 func TestDropBeforeKeepsHandles(t *testing.T) {

@@ -12,6 +12,12 @@
 // `clasp resume` command. The whole matrix runs at parallelism 1 and 4 —
 // resume output must not depend on worker count, even when the resumed
 // parallelism differs from the killed run's.
+//
+// A fourth cell covers multi-campaign commands: a checkpointing
+// `report all` is killed the moment its second campaign completes
+// (CLASP_KILL_POINT=campaign-done:2), and the resume must skip the
+// finished campaigns (loading their results from the checkpoints instead
+// of re-measuring) while still reproducing the full report byte-for-byte.
 package main
 
 import (
@@ -37,6 +43,12 @@ const (
 	scale    = "0.1"
 	killHour = 7
 )
+
+// The multi-campaign cell kills `report all` (same seed/scale/days, nine
+// campaigns) the moment its second campaign completes, then resumes the
+// whole command: finished campaigns must be skipped, not re-measured, and
+// stdout must still be byte-identical to a never-killed run.
+const reportAllKillCount = 2
 
 func main() {
 	if err := run(); err != nil {
@@ -76,7 +88,130 @@ func run() error {
 		fmt.Printf("resumesmoke: parallelism %s: %d kill points resumed byte-identically (%d bytes each)\n",
 			par, len(points), len(want))
 	}
+	if err := reportAllCell(bin, work); err != nil {
+		return fmt.Errorf("report all, kill at campaign-done:%d: %w", reportAllKillCount, err)
+	}
 	return nil
+}
+
+// reportAllCell runs the multi-campaign matrix cell: arm the campaign-done
+// kill point on a checkpointing `report all`, watch the child die by
+// SIGKILL mid-set, resume the command through `clasp resume`, and require
+// the finished campaigns skipped plus byte-identical output.
+func reportAllCell(bin, work string) error {
+	want, _, err := reportAll(bin, "", "")
+	if err != nil {
+		return fmt.Errorf("uninterrupted run: %w", err)
+	}
+	ckDir := filepath.Join(work, "ck-reportall")
+	kill := fmt.Sprintf("campaign-done:%d", reportAllKillCount)
+	if _, _, err := reportAll(bin, ckDir, kill); err == nil {
+		return fmt.Errorf("armed child exited cleanly instead of dying")
+	} else if !diedBySIGKILL(err) {
+		return fmt.Errorf("armed child failed but not by SIGKILL: %v", err)
+	}
+
+	total, finished, err := campaignWatermarks(ckDir)
+	if err != nil {
+		return err
+	}
+	// The kill fires as the Nth campaign completes, so at least N final
+	// watermarks are on disk; and the set must be mid-command (some
+	// campaign unfinished or never started) or a full re-run would also
+	// "pass".
+	if finished < reportAllKillCount {
+		return fmt.Errorf("%d campaigns at their final watermark, want at least %d", finished, reportAllKillCount)
+	}
+	if finished >= total {
+		return fmt.Errorf("all %d campaigns finished before the kill — checkpoint set is not mid-command", total)
+	}
+
+	got, stderr, err := resumeCommand(bin, ckDir)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	if skips := strings.Count(string(stderr), "skipping finished campaign"); skips != finished {
+		return fmt.Errorf("resume skipped %d campaigns, want the %d finished ones\n%s", skips, finished, stderr)
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("resumed output (%d bytes) differs from uninterrupted run (%d bytes)", len(got), len(want))
+	}
+	fmt.Printf("resumesmoke: report all: killed at campaign %d/%d, resume skipped %d finished campaigns, output byte-identical (%d bytes)\n",
+		reportAllKillCount, total, finished, len(want))
+	return nil
+}
+
+// reportAll runs `clasp report all` and returns its stdout and stderr.
+func reportAll(bin, ckDir, kill string) ([]byte, []byte, error) {
+	args := []string{"report", "all", "-seed", seed, "-scale", scale, "-days", days, "-parallelism", "4"}
+	if ckDir != "" {
+		args = append(args, "-checkpoint-dir", ckDir)
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Env = cleanEnv()
+	if kill != "" {
+		cmd.Env = append(cmd.Env, killpoint.EnvVar+"="+kill)
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("%w\n%s", err, stderr.Bytes())
+	}
+	return stdout.Bytes(), stderr.Bytes(), nil
+}
+
+// resumeCommand runs `clasp resume` on a command checkpoint set, returning
+// stdout and stderr (the skip lines land on stderr).
+func resumeCommand(bin, ckDir string) ([]byte, []byte, error) {
+	cmd := exec.Command(bin, "resume", ckDir, "-parallelism", "4")
+	cmd.Env = cleanEnv()
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("%w\n%s", err, stderr.Bytes())
+	}
+	return stdout.Bytes(), stderr.Bytes(), nil
+}
+
+// campaignWatermarks reads the command manifest under ckDir and counts how
+// many of its campaigns have a checkpoint at the final watermark
+// (days*24). Campaigns without a checkpoint subdirectory never started.
+func campaignWatermarks(ckDir string) (total, finished int, err error) {
+	raw, err := os.ReadFile(filepath.Join(ckDir, "command.json"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("reading command manifest: %w", err)
+	}
+	var man struct {
+		Days      int `json:"days"`
+		Campaigns []struct {
+			Kind   string `json:"kind"`
+			Region string `json:"region"`
+		} `json:"campaigns"`
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return 0, 0, fmt.Errorf("parsing command manifest: %w", err)
+	}
+	for _, c := range man.Campaigns {
+		raw, err := os.ReadFile(filepath.Join(ckDir, c.Region+"-"+c.Kind, "checkpoint.json"))
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			return 0, 0, fmt.Errorf("reading campaign checkpoint: %w", err)
+		}
+		var meta struct {
+			Progress struct {
+				NextHour int `json:"nextHour"`
+			} `json:"progress"`
+		}
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			return 0, 0, fmt.Errorf("parsing campaign checkpoint: %w", err)
+		}
+		if meta.Progress.NextHour >= man.Days*24 {
+			finished++
+		}
+	}
+	return len(man.Campaigns), finished, nil
 }
 
 // killAndResume runs one matrix cell: arm the kill point, watch the child
